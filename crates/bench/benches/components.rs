@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the individual substrates: the cache access path, the
+//! conflict-graph construction and coloring, the gzip match finder and the multitasking
+//! scheduler. These bound the cost of the building blocks the figure pipelines compose.
+
+use ccache_layout::weights::conflict_graph_from_trace;
+use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
+use ccache_sim::{ColumnMask, MemorySystem, Tint};
+use ccache_trace::synth::{pointer_chase, sequential_scan};
+use ccache_workloads::gzipsim::{compress, generate_input, GzipConfig};
+use ccache_workloads::mpeg::{run_idct, MpegConfig};
+use ccache_workloads::multitask::{round_robin, Job};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cache_access_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_access_path");
+    let hits = sequential_scan(0x0, 1024, 32, 4, 64, None);
+    group.throughput(Throughput::Elements(hits.len() as u64));
+    group.bench_function("mostly_hits", |b| {
+        let mut sys = MemorySystem::with_default_cache();
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for e in &hits {
+                cycles += sys.access(black_box(e.addr), e.is_write());
+            }
+            cycles
+        })
+    });
+    let misses = pointer_chase(0x0, 256 * 1024, 32, 16_384, None);
+    group.throughput(Throughput::Elements(misses.len() as u64));
+    group.bench_function("mostly_misses", |b| {
+        let mut sys = MemorySystem::with_default_cache();
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for e in &misses {
+                cycles += sys.access(black_box(e.addr), e.is_write());
+            }
+            cycles
+        })
+    });
+    group.bench_function("partitioned_access", |b| {
+        let mut sys = MemorySystem::with_default_cache();
+        sys.define_tint(Tint(1), ColumnMask::single(0)).unwrap();
+        sys.tint_range(0..64 * 1024, Tint(1));
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for e in &hits {
+                cycles += sys.access(black_box(e.addr), e.is_write());
+            }
+            cycles
+        })
+    });
+    group.finish();
+}
+
+fn layout_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_pipeline");
+    let idct = run_idct(&MpegConfig::small());
+    let opts = WeightOptions::default();
+    group.bench_function("conflict_graph_from_trace", |b| {
+        b.iter(|| conflict_graph_from_trace(black_box(&idct.trace), &idct.symbols, &opts))
+    });
+    let (graph, _units) = conflict_graph_from_trace(&idct.trace, &idct.symbols, &opts);
+    group.bench_function("assign_columns_4", |b| {
+        b.iter(|| assign_columns(black_box(&graph), &LayoutOptions::new(4, 512)).unwrap())
+    });
+    group.bench_function("assign_columns_2", |b| {
+        b.iter(|| assign_columns(black_box(&graph), &LayoutOptions::new(2, 512)).unwrap())
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    let input = generate_input(16 * 1024, 7);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("gzip_compress_16k", |b| {
+        b.iter(|| compress(black_box(&input), &GzipConfig::default()))
+    });
+    group.bench_function("idct_instrumented_small", |b| {
+        b.iter(|| run_idct(black_box(&MpegConfig::small())))
+    });
+    group.finish();
+}
+
+fn scheduler(c: &mut Criterion) {
+    let jobs: Vec<Job> = (0..3)
+        .map(|j| {
+            Job::new(
+                format!("job{j}"),
+                sequential_scan(j as u64 * 0x10_0000, 64 * 1024, 32, 4, 1, None),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("multitask_scheduler");
+    let total: usize = jobs.iter().map(|j| j.trace.len()).sum();
+    group.throughput(Throughput::Elements(total as u64));
+    for quantum in [16usize, 1024, 65_536] {
+        group.bench_function(format!("round_robin_q{quantum}"), |b| {
+            b.iter(|| round_robin(black_box(&jobs), quantum))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = cache_access_path, layout_pipeline, workload_generation, scheduler
+}
+criterion_main!(components);

@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the paper's figure-reproduction pipelines.
+//!
+//! One benchmark per panel: Figures 4(a)–(d) and Figure 5. These measure the wall-clock
+//! cost of the full pipeline (workload generation → layout → simulation) at a reduced
+//! scale, so regressions in any layer show up; the printed rows of the actual figures come
+//! from the `fig4` / `fig5` binaries.
+
+use ccache_bench::{figure4_config, figure5_configs, figure5_jobs, Scale};
+use ccache_core::dynamic::run_dynamic;
+use ccache_core::multitask::{run_multitasking, SharingPolicy};
+use ccache_core::partition::partition_sweep;
+use ccache_workloads::mpeg::{run_combined, run_dequant, run_idct, run_phases, run_plus};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn fig4_dequant(c: &mut Criterion) {
+    let mpeg = Scale::Quick.mpeg();
+    let cfg = figure4_config();
+    let run = run_dequant(&mpeg);
+    c.bench_function("fig4a_dequant_partition_sweep", |b| {
+        b.iter(|| partition_sweep(black_box(&run), black_box(&cfg)).expect("sweep succeeds"))
+    });
+}
+
+fn fig4_plus(c: &mut Criterion) {
+    let mpeg = Scale::Quick.mpeg();
+    let cfg = figure4_config();
+    let run = run_plus(&mpeg);
+    c.bench_function("fig4b_plus_partition_sweep", |b| {
+        b.iter(|| partition_sweep(black_box(&run), black_box(&cfg)).expect("sweep succeeds"))
+    });
+}
+
+fn fig4_idct(c: &mut Criterion) {
+    let mpeg = Scale::Quick.mpeg();
+    let cfg = figure4_config();
+    let run = run_idct(&mpeg);
+    c.bench_function("fig4c_idct_partition_sweep", |b| {
+        b.iter(|| partition_sweep(black_box(&run), black_box(&cfg)).expect("sweep succeeds"))
+    });
+}
+
+fn fig4_combined(c: &mut Criterion) {
+    let mpeg = Scale::Quick.mpeg();
+    let cfg = figure4_config();
+    let combined = run_combined(&mpeg);
+    let (phases, symbols) = run_phases(&mpeg);
+    let mut group = c.benchmark_group("fig4d_combined");
+    group.bench_function("static_partition_sweep", |b| {
+        b.iter(|| partition_sweep(black_box(&combined), black_box(&cfg)).expect("sweep succeeds"))
+    });
+    group.bench_function("dynamic_column_cache", |b| {
+        b.iter(|| {
+            run_dynamic(black_box(&phases), black_box(&symbols), black_box(&cfg))
+                .expect("dynamic run succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn fig5_multitasking(c: &mut Criterion) {
+    let jobs = figure5_jobs(Scale::Quick);
+    let mut group = c.benchmark_group("fig5_multitasking");
+    group.sample_size(10);
+    for (label, cfg) in figure5_configs() {
+        group.bench_function(format!("{label}_shared_q256"), |b| {
+            b.iter_batched(
+                || jobs.clone(),
+                |jobs| {
+                    run_multitasking(&jobs, 256, black_box(&cfg), SharingPolicy::Shared)
+                        .expect("run succeeds")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("{label}_mapped_q256"), |b| {
+            b.iter_batched(
+                || jobs.clone(),
+                |jobs| {
+                    run_multitasking(&jobs, 256, black_box(&cfg), SharingPolicy::Mapped)
+                        .expect("run succeeds")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = fig4_dequant, fig4_plus, fig4_idct, fig4_combined, fig5_multitasking
+}
+criterion_main!(figures);

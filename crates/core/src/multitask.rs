@@ -1,0 +1,370 @@
+//! The multitasking experiment of Figure 5.
+//!
+//! Three gzip jobs run round-robin on one processor. With a standard cache every job may
+//! replace any line, so job A's hit rate — and therefore its CPI — depends strongly on how
+//! often it is interrupted (the context-switch quantum). With a mapped column cache job A
+//! owns a set of columns exclusively and the other jobs share the remainder, so job A's
+//! CPI is both lower and nearly independent of the quantum.
+
+use crate::error::CoreError;
+use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, MemorySystem, SystemConfig, Tint};
+use ccache_trace::Trace;
+use ccache_workloads::multitask::{round_robin, Job, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multitasking experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultitaskConfig {
+    /// Total cache capacity in bytes (the paper uses 16 KiB and 128 KiB).
+    pub capacity_bytes: u64,
+    /// Number of columns.
+    pub columns: usize,
+    /// Line size in bytes.
+    pub line_size: u64,
+    /// Page size of the TLB/page table.
+    pub page_size: u64,
+    /// Latency model.
+    pub latency: LatencyConfig,
+    /// Columns given exclusively to the critical job (job 0) in the mapped configuration.
+    pub critical_job_columns: usize,
+}
+
+impl MultitaskConfig {
+    /// The latency model used by the Figure 5 experiment: a deeper memory hierarchy than
+    /// the 2 KiB on-chip memory of Figure 4, so misses are more expensive.
+    fn figure5_latency() -> LatencyConfig {
+        LatencyConfig {
+            miss_penalty: 60,
+            writeback_penalty: 30,
+            uncached_latency: 70,
+            ..LatencyConfig::default()
+        }
+    }
+
+    /// The 16 KiB configuration of Figure 5 (8 columns of 2 KiB). The critical job is
+    /// "exclusively assigned a large fraction of the cache" — 6 of the 8 columns — so its
+    /// hot working set fits in its private columns.
+    pub fn cache_16k() -> Self {
+        MultitaskConfig {
+            capacity_bytes: 16 * 1024,
+            columns: 8,
+            line_size: 32,
+            page_size: 1024,
+            latency: Self::figure5_latency(),
+            critical_job_columns: 6,
+        }
+    }
+
+    /// The 128 KiB configuration of Figure 5.
+    pub fn cache_128k() -> Self {
+        MultitaskConfig {
+            capacity_bytes: 128 * 1024,
+            columns: 8,
+            line_size: 32,
+            page_size: 1024,
+            latency: Self::figure5_latency(),
+            critical_job_columns: 4,
+        }
+    }
+
+    /// The simulator configuration for this experiment.
+    pub fn system_config(&self) -> Result<SystemConfig, CoreError> {
+        let cache = CacheConfig::builder()
+            .capacity_bytes(self.capacity_bytes)
+            .columns(self.columns)
+            .line_size(self.line_size)
+            .build()?;
+        Ok(SystemConfig {
+            cache,
+            latency: self.latency,
+            page_size: self.page_size,
+            tlb_entries: 128,
+        })
+    }
+}
+
+impl Default for MultitaskConfig {
+    fn default() -> Self {
+        MultitaskConfig::cache_16k()
+    }
+}
+
+/// Whether the column cache is partitioned between jobs or shared as a standard cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingPolicy {
+    /// Standard cache: every job may replace any line.
+    Shared,
+    /// Mapped column cache: job 0 owns `critical_job_columns` columns exclusively and the
+    /// other jobs share the remaining columns.
+    Mapped,
+}
+
+/// Per-job results of one multitasking run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Job name.
+    pub name: String,
+    /// References issued by the job.
+    pub references: u64,
+    /// Memory cycles attributed to the job.
+    pub memory_cycles: u64,
+    /// Instructions attributed to the job (references × instructions-per-reference).
+    pub instructions: u64,
+    /// Clocks per instruction of the job.
+    pub cpi: f64,
+}
+
+/// Result of one multitasking run (one quantum, one sharing policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultitaskRun {
+    /// The context-switch quantum in references.
+    pub quantum: usize,
+    /// The sharing policy used.
+    pub policy: SharingPolicy,
+    /// Per-job metrics, in job order.
+    pub jobs: Vec<JobMetrics>,
+    /// Number of context switches performed.
+    pub context_switches: u64,
+}
+
+impl MultitaskRun {
+    /// Metrics of the critical job (job 0, "job A" in the paper).
+    pub fn critical_job(&self) -> &JobMetrics {
+        &self.jobs[0]
+    }
+}
+
+/// Address span `[min, max)` of a trace, for tinting a job's whole address space.
+fn address_span(trace: &Trace) -> (u64, u64) {
+    let stats = trace.stats();
+    (stats.min_addr, stats.max_addr + 1)
+}
+
+/// Runs one multitasking experiment point.
+///
+/// # Errors
+///
+/// Returns an error if the cache geometry is invalid or the mapped configuration requests
+/// more exclusive columns than exist.
+pub fn run_multitasking(
+    jobs: &[Job],
+    quantum: usize,
+    config: &MultitaskConfig,
+    policy: SharingPolicy,
+) -> Result<MultitaskRun, CoreError> {
+    if jobs.is_empty() {
+        return Err(CoreError::BadExperiment {
+            reason: "no jobs supplied".to_owned(),
+        });
+    }
+    if config.critical_job_columns >= config.columns {
+        return Err(CoreError::BadExperiment {
+            reason: format!(
+                "critical job cannot own all {} columns",
+                config.columns
+            ),
+        });
+    }
+    let mut system = MemorySystem::new(config.system_config()?)?;
+
+    if policy == SharingPolicy::Mapped {
+        // Job 0 owns columns [0, critical_job_columns); the others share the rest.
+        let critical_mask = ColumnMask::range(0, config.critical_job_columns);
+        let other_mask = ColumnMask::range(
+            config.critical_job_columns,
+            config.columns - config.critical_job_columns,
+        );
+        system.define_tint(Tint(1), critical_mask)?;
+        system.define_tint(Tint(2), other_mask)?;
+        // Unmapped pages (there should be none) stay off the critical columns too.
+        system.define_tint(Tint::DEFAULT, other_mask)?;
+        for (j, job) in jobs.iter().enumerate() {
+            let (lo, hi) = address_span(&job.trace);
+            let tint = if j == 0 { Tint(1) } else { Tint(2) };
+            system.tint_range(lo..hi, tint);
+        }
+    }
+
+    let schedule: Schedule = round_robin(jobs, quantum);
+    let mut per_job_cycles = vec![0u64; jobs.len()];
+    let mut per_job_refs = vec![0u64; jobs.len()];
+    for (owner, ev) in schedule.iter() {
+        let cycles = system.access(ev.addr, ev.is_write());
+        per_job_cycles[owner] += cycles;
+        per_job_refs[owner] += 1;
+    }
+
+    let lat = config.latency;
+    let jobs_metrics = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| {
+            let instructions = per_job_refs[j] * lat.instructions_per_reference;
+            let compute = instructions * lat.compute_cycles_per_instruction;
+            let total = compute + per_job_cycles[j];
+            JobMetrics {
+                name: job.name.clone(),
+                references: per_job_refs[j],
+                memory_cycles: per_job_cycles[j],
+                instructions,
+                cpi: if instructions == 0 {
+                    0.0
+                } else {
+                    total as f64 / instructions as f64
+                },
+            }
+        })
+        .collect();
+    Ok(MultitaskRun {
+        quantum,
+        policy,
+        jobs: jobs_metrics,
+        context_switches: schedule.context_switches,
+    })
+}
+
+/// One series of Figure 5: the critical job's CPI at every quantum, for one cache size and
+/// one sharing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumSeries {
+    /// Label of the series (e.g. `"gzip.16k mapped"`).
+    pub label: String,
+    /// `(quantum, cpi)` points in increasing quantum order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl QuantumSeries {
+    /// Largest CPI in the series.
+    pub fn max_cpi(&self) -> f64 {
+        self.points.iter().map(|&(_, c)| c).fold(0.0, f64::max)
+    }
+
+    /// Smallest CPI in the series.
+    pub fn min_cpi(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Peak-to-trough CPI variation (the paper's "performance variation").
+    pub fn variation(&self) -> f64 {
+        self.max_cpi() - self.min_cpi()
+    }
+}
+
+/// Sweeps the quantum for one configuration and policy, reporting the critical job's CPI.
+pub fn quantum_sweep(
+    jobs: &[Job],
+    quanta: &[usize],
+    config: &MultitaskConfig,
+    policy: SharingPolicy,
+    label: &str,
+) -> Result<QuantumSeries, CoreError> {
+    let mut points = Vec::with_capacity(quanta.len());
+    for &q in quanta {
+        let run = run_multitasking(jobs, q, config, policy)?;
+        points.push((q, run.critical_job().cpi));
+    }
+    Ok(QuantumSeries {
+        label: label.to_owned(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccache_workloads::gzipsim::{run_gzip_job, GzipConfig};
+
+    fn small_jobs() -> Vec<Job> {
+        (0..3)
+            .map(|j| {
+                let cfg = GzipConfig {
+                    input_len: 3000,
+                    ..GzipConfig::small()
+                }
+                .with_seed(100 + j as u64);
+                let run = run_gzip_job(&cfg, 0x100_0000 * (j as u64 + 1), &format!("gzip-{j}"));
+                Job::new(run.name.clone(), run.trace)
+            })
+            .collect()
+    }
+
+    fn tiny_cache() -> MultitaskConfig {
+        // deliberately tiny so the jobs interfere heavily and the test is fast
+        MultitaskConfig {
+            capacity_bytes: 4 * 1024,
+            columns: 8,
+            line_size: 32,
+            page_size: 1024,
+            latency: LatencyConfig::default(),
+            critical_job_columns: 4,
+        }
+    }
+
+    #[test]
+    fn every_reference_is_attributed_to_its_job() {
+        let jobs = small_jobs();
+        let run = run_multitasking(&jobs, 64, &tiny_cache(), SharingPolicy::Shared).unwrap();
+        for (j, job) in jobs.iter().enumerate() {
+            assert_eq!(run.jobs[j].references, job.trace.len() as u64);
+            assert!(run.jobs[j].cpi >= 1.0);
+        }
+        assert!(run.context_switches > 0);
+        assert_eq!(run.critical_job().name, "gzip-0");
+    }
+
+    #[test]
+    fn mapping_reduces_cpi_sensitivity_to_the_quantum() {
+        let jobs = small_jobs();
+        let cfg = tiny_cache();
+        let quanta = [16usize, 256, 4096, 65536];
+        let shared =
+            quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Shared, "shared").unwrap();
+        let mapped =
+            quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Mapped, "mapped").unwrap();
+        assert!(
+            mapped.variation() < shared.variation(),
+            "mapped variation {} should be below shared variation {}",
+            mapped.variation(),
+            shared.variation()
+        );
+        // at the smallest quantum, mapping must help the critical job
+        assert!(mapped.points[0].1 <= shared.points[0].1);
+    }
+
+    #[test]
+    fn shared_cpi_improves_with_larger_quanta() {
+        let jobs = small_jobs();
+        let cfg = tiny_cache();
+        let small_q = run_multitasking(&jobs, 4, &cfg, SharingPolicy::Shared).unwrap();
+        let large_q = run_multitasking(&jobs, 1 << 20, &cfg, SharingPolicy::Shared).unwrap();
+        assert!(
+            large_q.critical_job().cpi <= small_q.critical_job().cpi,
+            "batch-style scheduling should not be slower ({} vs {})",
+            large_q.critical_job().cpi,
+            small_q.critical_job().cpi
+        );
+    }
+
+    #[test]
+    fn bad_configurations_are_rejected() {
+        let jobs = small_jobs();
+        let mut cfg = tiny_cache();
+        cfg.critical_job_columns = 8;
+        assert!(run_multitasking(&jobs, 16, &cfg, SharingPolicy::Mapped).is_err());
+        assert!(run_multitasking(&[], 16, &tiny_cache(), SharingPolicy::Shared).is_err());
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = QuantumSeries {
+            label: "x".into(),
+            points: vec![(1, 2.5), (4, 2.0), (16, 1.5)],
+        };
+        assert_eq!(s.max_cpi(), 2.5);
+        assert_eq!(s.min_cpi(), 1.5);
+        assert!((s.variation() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Address placement: relocating program variables for column-cache experiments.
+//!
+//! The column-cache mapping granularity is a page, and scratchpad emulation needs the
+//! region mapped to a column to cover each cache set exactly once per allotted way. Both
+//! requirements are placement (link-time address assignment) concerns, so this module
+//! rewrites a recorded trace to a new memory map: variables selected for scratchpad are
+//! packed contiguously in a column-aligned block, every other variable starts on its own
+//! page. The relocation preserves each variable's internal layout, so the reference stream
+//! is unchanged except for the base address of every variable.
+
+use ccache_trace::{MemAccess, SymbolTable, Trace, VarId};
+use std::collections::BTreeMap;
+
+/// A plan mapping each variable to a new base address.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    targets: BTreeMap<VarId, u64>,
+}
+
+impl PlacementPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        PlacementPlan::default()
+    }
+
+    /// Places `var` at `base`.
+    pub fn place(&mut self, var: VarId, base: u64) {
+        self.targets.insert(var, base);
+    }
+
+    /// The planned base address of `var`, if any.
+    pub fn target(&self, var: VarId) -> Option<u64> {
+        self.targets.get(&var).copied()
+    }
+
+    /// Number of planned variables.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` if no variable has been placed yet.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// Builds a placement where the variables in `scratchpad_vars` are packed contiguously
+/// (in the given order) into a block starting at `scratchpad_base`, and every other
+/// variable of `symbols` starts on a fresh `page_size`-aligned address beginning at
+/// `general_base`.
+pub fn pack_scratchpad_first(
+    symbols: &SymbolTable,
+    scratchpad_vars: &[VarId],
+    scratchpad_base: u64,
+    general_base: u64,
+    page_size: u64,
+) -> PlacementPlan {
+    let mut plan = PlacementPlan::new();
+    let mut cursor = scratchpad_base;
+    for &v in scratchpad_vars {
+        if let Some(region) = symbols.region(v) {
+            plan.place(v, cursor);
+            cursor += region.size;
+        }
+    }
+    let mut general = general_base.max(align_up(cursor, page_size));
+    for region in symbols.iter() {
+        if scratchpad_vars.contains(&region.id) {
+            continue;
+        }
+        plan.place(region.id, general);
+        general = align_up(general + region.size, page_size);
+    }
+    plan
+}
+
+/// Builds a placement where every variable starts on its own `page_size`-aligned address,
+/// in symbol-table order, starting at `base`.
+pub fn page_aligned(symbols: &SymbolTable, base: u64, page_size: u64) -> PlacementPlan {
+    let mut plan = PlacementPlan::new();
+    let mut cursor = align_up(base, page_size);
+    for region in symbols.iter() {
+        plan.place(region.id, cursor);
+        cursor = align_up(cursor + region.size, page_size);
+    }
+    plan
+}
+
+/// Applies a placement plan: returns the relocated trace and the new symbol table.
+///
+/// Variables without a planned target keep their original addresses. Events not attributed
+/// to any variable are left untouched.
+pub fn relocate(trace: &Trace, symbols: &SymbolTable, plan: &PlacementPlan) -> (Trace, SymbolTable) {
+    // Build the new symbol table (preserving ids and order).
+    let mut new_symbols = SymbolTable::with_base(0);
+    for region in symbols.iter() {
+        let base = plan.target(region.id).unwrap_or(region.base);
+        // insert_at preserves explicit placement; ids are assigned in order, matching the
+        // original ids because we iterate in allocation order.
+        new_symbols
+            .insert_at(&region.name, base, region.size)
+            .expect("plan produced overlapping regions");
+    }
+    let mut delta: BTreeMap<VarId, i128> = BTreeMap::new();
+    for region in symbols.iter() {
+        let new_base = plan.target(region.id).unwrap_or(region.base);
+        delta.insert(region.id, i128::from(new_base) - i128::from(region.base));
+    }
+    let relocated: Trace = trace
+        .iter()
+        .map(|e| {
+            let var = e.var.or_else(|| symbols.resolve(e.addr));
+            match var.and_then(|v| delta.get(&v)) {
+                Some(d) => MemAccess {
+                    addr: (i128::from(e.addr) + d) as u64,
+                    var,
+                    ..*e
+                },
+                None => *e,
+            }
+        })
+        .collect();
+    (relocated, new_symbols)
+}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    if align <= 1 {
+        return value;
+    }
+    value.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccache_trace::{AccessKind, TraceRecorder};
+
+    fn sample() -> (Trace, SymbolTable, VarId, VarId, VarId) {
+        let mut rec = TraceRecorder::new();
+        let a = rec.allocate("a", 100, 8);
+        let b = rec.allocate("b", 300, 8);
+        let c = rec.allocate("c", 50, 8);
+        for i in 0..10u64 {
+            rec.record(a, i * 8, 8, AccessKind::Read);
+            rec.record(b, i * 16, 8, AccessKind::Write);
+            rec.record(c, i * 4, 4, AccessKind::Read);
+        }
+        let (t, s) = rec.finish();
+        (t, s, a, b, c)
+    }
+
+    #[test]
+    fn page_aligned_places_every_variable_on_a_page() {
+        let (_, symbols, ..) = sample();
+        let plan = page_aligned(&symbols, 0x10000, 1024);
+        assert_eq!(plan.len(), 3);
+        for region in symbols.iter() {
+            assert_eq!(plan.target(region.id).unwrap() % 1024, 0);
+        }
+        // no overlap and increasing addresses
+        let bases: Vec<u64> = symbols.iter().map(|r| plan.target(r.id).unwrap()).collect();
+        assert!(bases.windows(2).all(|w| w[1] >= w[0] + 1024));
+    }
+
+    #[test]
+    fn scratchpad_vars_are_packed_contiguously() {
+        let (_, symbols, a, _b, c) = sample();
+        let plan = pack_scratchpad_first(&symbols, &[c, a], 0x8000, 0x2_0000, 1024);
+        assert_eq!(plan.target(c), Some(0x8000));
+        assert_eq!(plan.target(a), Some(0x8000 + 50));
+        // the non-scratchpad variable is page aligned and out of the scratchpad block
+        let b_base = plan.target(VarId(1)).unwrap();
+        assert_eq!(b_base % 1024, 0);
+        assert!(b_base >= 0x2_0000);
+    }
+
+    #[test]
+    fn relocate_rewrites_addresses_preserving_offsets() {
+        let (trace, symbols, a, ..) = sample();
+        let plan = page_aligned(&symbols, 0x40_0000, 4096);
+        let (new_trace, new_symbols) = relocate(&trace, &symbols, &plan);
+        assert_eq!(new_trace.len(), trace.len());
+        let old_base = symbols.region(a).unwrap().base;
+        let new_base = new_symbols.region(a).unwrap().base;
+        for (old, new) in trace.iter().zip(new_trace.iter()) {
+            assert_eq!(old.kind, new.kind);
+            assert_eq!(old.var, new.var);
+            if old.var == Some(a) {
+                assert_eq!(old.addr - old_base, new.addr - new_base);
+            }
+        }
+        // the new symbol table resolves the new addresses
+        assert_eq!(new_symbols.resolve(new_base + 8), Some(a));
+    }
+
+    #[test]
+    fn variables_without_target_keep_addresses() {
+        let (trace, symbols, a, b, _c) = sample();
+        let mut plan = PlacementPlan::new();
+        plan.place(a, 0x70_0000);
+        assert!(!plan.is_empty());
+        let (new_trace, new_symbols) = relocate(&trace, &symbols, &plan);
+        assert_eq!(
+            new_symbols.region(b).unwrap().base,
+            symbols.region(b).unwrap().base
+        );
+        let b_events_old: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.var == Some(b))
+            .map(|e| e.addr)
+            .collect();
+        let b_events_new: Vec<u64> = new_trace
+            .iter()
+            .filter(|e| e.var == Some(b))
+            .map(|e| e.addr)
+            .collect();
+        assert_eq!(b_events_old, b_events_new);
+    }
+
+    #[test]
+    fn align_up_behaviour() {
+        assert_eq!(align_up(10, 0), 10);
+        assert_eq!(align_up(10, 1), 10);
+        assert_eq!(align_up(10, 8), 16);
+        assert_eq!(align_up(16, 8), 16);
+        assert_eq!(align_up(1, 1000), 1000);
+    }
+}

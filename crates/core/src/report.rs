@@ -1,0 +1,158 @@
+//! Report formatting: the tables and series printed by the benchmark harness.
+
+use crate::dynamic::Figure4dResult;
+use crate::multitask::QuantumSeries;
+use crate::partition::PartitionSweep;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders a partition sweep (one panel of Figure 4) as an ASCII table:
+/// cache columns, scratchpad columns, cycle count, miss count.
+pub fn partition_table(sweep: &PartitionSweep) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — cycle count vs. cache size (columns)", sweep.name);
+    let _ = writeln!(
+        out,
+        "{:>13} {:>18} {:>12} {:>10} {:>10}",
+        "cache_columns", "scratchpad_columns", "cycles", "misses", "hit_rate"
+    );
+    for p in &sweep.points {
+        let hit_rate = if p.result.references == 0 {
+            0.0
+        } else {
+            p.result.hits as f64 / p.result.references as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:>13} {:>18} {:>12} {:>10} {:>9.1}%",
+            p.cache_columns,
+            p.scratchpad_columns,
+            p.cycles,
+            p.result.misses,
+            hit_rate * 100.0
+        );
+    }
+    out
+}
+
+/// Renders the Figure 4(d) comparison: every static partition against the column cache.
+pub fn figure4d_table(result: &Figure4dResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# combined application — static partitions vs. column cache");
+    let _ = writeln!(out, "{:>22} {:>12}", "configuration", "cycles");
+    for (cols, cycles) in &result.static_cycles {
+        let _ = writeln!(out, "{:>22} {:>12}", format!("static cache={cols}"), cycles);
+    }
+    let _ = writeln!(
+        out,
+        "{:>22} {:>12}",
+        "column cache (dynamic)", result.column_cache_cycles
+    );
+    let _ = writeln!(
+        out,
+        "{:>22} {:>12}",
+        "  + remap overhead",
+        result.column_cache_cycles + result.column_cache_control_cycles
+    );
+    let (best_cols, best) = result.best_static();
+    let _ = writeln!(
+        out,
+        "best static partition: cache={best_cols} ({best} cycles); column cache {}",
+        if result.column_cache_wins() { "wins or ties" } else { "does not win" }
+    );
+    out
+}
+
+/// Renders one or more Figure 5 series (CPI vs. quantum) as an aligned table with one
+/// column per series.
+pub fn quantum_table(series: &[QuantumSeries]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# clocks per instruction of job A vs. context-switch quantum");
+    let _ = write!(out, "{:>10}", "quantum");
+    for s in series {
+        let _ = write!(out, " {:>18}", s.label);
+    }
+    let _ = writeln!(out);
+    let quanta: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(q, _)| q).collect())
+        .unwrap_or_default();
+    for (i, q) in quanta.iter().enumerate() {
+        let _ = write!(out, "{q:>10}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, cpi)) => {
+                    let _ = write!(out, " {cpi:>18.3}");
+                }
+                None => {
+                    let _ = write!(out, " {:>18}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    for s in series {
+        let _ = writeln!(
+            out,
+            "{}: min CPI {:.3}, max CPI {:.3}, variation {:.3}",
+            s.label,
+            s.min_cpi(),
+            s.max_cpi(),
+            s.variation()
+        );
+    }
+    out
+}
+
+/// Serialises any report payload to pretty JSON (for EXPERIMENTS.md artefacts).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multitask::QuantumSeries;
+
+    #[test]
+    fn quantum_table_lists_every_series_and_quantum() {
+        let a = QuantumSeries {
+            label: "gzip.16k".into(),
+            points: vec![(1, 2.8), (4, 2.5)],
+        };
+        let b = QuantumSeries {
+            label: "gzip.16k mapped".into(),
+            points: vec![(1, 1.9), (4, 1.9)],
+        };
+        let table = quantum_table(&[a, b]);
+        assert!(table.contains("gzip.16k"));
+        assert!(table.contains("mapped"));
+        assert!(table.contains("2.800"));
+        assert!(table.contains("1.900"));
+        assert!(table.contains("variation"));
+    }
+
+    #[test]
+    fn figure4d_table_reports_winner() {
+        let r = Figure4dResult {
+            static_cycles: vec![(0, 1000), (4, 800)],
+            column_cache_cycles: 700,
+            column_cache_control_cycles: 50,
+        };
+        let t = figure4d_table(&r);
+        assert!(t.contains("column cache"));
+        assert!(t.contains("700"));
+        assert!(t.contains("wins"));
+        assert!(t.contains("750"));
+    }
+
+    #[test]
+    fn to_json_round_trips_simple_values() {
+        #[derive(Serialize)]
+        struct S {
+            x: u32,
+        }
+        let s = to_json(&S { x: 4 });
+        assert!(s.contains("\"x\": 4"));
+    }
+}

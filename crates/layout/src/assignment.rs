@@ -1,0 +1,397 @@
+//! Column assignment: the paper's Section 3.1.2 algorithm.
+//!
+//! Given the conflict graph (zero-weight edges already absent), try an exact minimum
+//! coloring. If it needs at most `k` colors, assign each color to a column — the cost `W`
+//! is zero and the solution is optimal. Otherwise repeatedly merge the vertices joined by
+//! the minimum-weight edge and re-color, stopping as soon as `k` colors suffice; merged
+//! vertices share a column.
+//!
+//! Variables can also be *forced* into designated scratchpad columns (Section 3.1.3): they
+//! are removed from the coloring problem and the remaining variables are colored over the
+//! columns that are left.
+
+use crate::coloring;
+use crate::error::LayoutError;
+use crate::graph::ConflictGraph;
+use ccache_trace::VarId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options controlling column assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutOptions {
+    /// Total number of columns `k` in the cache.
+    pub columns: usize,
+    /// Size `S` of one column in bytes (informational; used by reports).
+    pub column_bytes: u64,
+    /// Variables pre-assigned ("forced") to specific columns, typically to emulate
+    /// scratchpad memory for predictability-critical data.
+    pub forced: Vec<(VarId, usize)>,
+    /// Maximum number of search nodes for the exact colorer before falling back to the
+    /// greedy colorer.
+    pub search_budget: u64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            columns: 4,
+            column_bytes: 512,
+            forced: Vec::new(),
+            search_budget: coloring::DEFAULT_SEARCH_BUDGET,
+        }
+    }
+}
+
+impl LayoutOptions {
+    /// Creates options for a cache with `columns` columns of `column_bytes` bytes each.
+    pub fn new(columns: usize, column_bytes: u64) -> Self {
+        LayoutOptions {
+            columns,
+            column_bytes,
+            ..LayoutOptions::default()
+        }
+    }
+
+    /// Forces `var` into `column`, removing it from the coloring problem.
+    pub fn force(mut self, var: VarId, column: usize) -> Self {
+        self.forced.push((var, column));
+        self
+    }
+}
+
+/// The result of column assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnAssignment {
+    /// Number of columns in the target cache.
+    pub columns: usize,
+    /// Column of every graph vertex (same indexing as the input graph).
+    pub vertex_columns: Vec<usize>,
+    /// Columns used by each program variable (a variable split into units may span
+    /// several columns).
+    pub var_columns: BTreeMap<VarId, Vec<usize>>,
+    /// The paper's cost `W`: total weight of edges whose endpoints share a column.
+    pub cost: u64,
+    /// `true` if the result came from an exact coloring with no merging (guaranteed
+    /// minimum-cost, `W == 0`).
+    pub optimal: bool,
+    /// Number of merge iterations the heuristic performed.
+    pub merges: usize,
+}
+
+impl ColumnAssignment {
+    /// Returns the column of graph vertex `index`.
+    pub fn column_of_vertex(&self, index: usize) -> Option<usize> {
+        self.vertex_columns.get(index).copied()
+    }
+
+    /// Returns the columns used by variable `var` (empty if the variable was not assigned).
+    pub fn columns_of(&self, var: VarId) -> &[usize] {
+        self.var_columns.get(&var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns every variable assigned (exclusively or not) to `column`.
+    pub fn vars_in_column(&self, column: usize) -> Vec<VarId> {
+        self.var_columns
+            .iter()
+            .filter(|(_, cols)| cols.contains(&column))
+            .map(|(v, _)| *v)
+            .collect()
+    }
+}
+
+/// Runs the paper's column-assignment algorithm on a conflict graph.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::NoColumns`] when `options.columns` is zero,
+/// [`LayoutError::ForcedColumnOutOfRange`] for invalid forced assignments, and
+/// [`LayoutError::TooManyReserved`] when forcing leaves no column for the remaining
+/// variables while some remain to be colored.
+pub fn assign_columns(
+    graph: &ConflictGraph,
+    options: &LayoutOptions,
+) -> Result<ColumnAssignment, LayoutError> {
+    if options.columns == 0 {
+        return Err(LayoutError::NoColumns);
+    }
+    // Validate forced assignments.
+    for &(var, col) in &options.forced {
+        if col >= options.columns {
+            return Err(LayoutError::ForcedColumnOutOfRange {
+                var,
+                column: col,
+                columns: options.columns,
+            });
+        }
+        if graph.index_of(var).is_none() {
+            return Err(LayoutError::UnknownVariable { var });
+        }
+    }
+
+    let forced_map: BTreeMap<VarId, usize> = options.forced.iter().copied().collect();
+    let reserved_columns: Vec<usize> = {
+        let mut v: Vec<usize> = forced_map.values().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let available_columns: Vec<usize> = (0..options.columns)
+        .filter(|c| !reserved_columns.contains(c))
+        .collect();
+
+    // Partition the vertices into forced and free.
+    let mut forced_vertices: BTreeMap<usize, usize> = BTreeMap::new(); // vertex -> column
+    let mut free_vertices: Vec<usize> = Vec::new();
+    for (idx, vertex) in graph.vertices() {
+        if let Some(&col) = forced_map.get(&vertex.var) {
+            forced_vertices.insert(idx, col);
+        } else {
+            free_vertices.push(idx);
+        }
+    }
+    if !free_vertices.is_empty() && available_columns.is_empty() {
+        return Err(LayoutError::TooManyReserved {
+            reserved: reserved_columns.len(),
+            columns: options.columns,
+        });
+    }
+    let k = available_columns.len();
+
+    // Build the sub-graph over the free vertices (keeping only nonzero edges).
+    let mut sub = ConflictGraph::new();
+    let mut sub_to_full = Vec::with_capacity(free_vertices.len());
+    for &idx in &free_vertices {
+        sub.add_vertex(graph.vertex(idx).expect("index valid").clone());
+        sub_to_full.push(idx);
+    }
+    for (i, &fi) in sub_to_full.iter().enumerate() {
+        for (j, &fj) in sub_to_full.iter().enumerate().skip(i + 1) {
+            let w = graph.weight(fi, fj);
+            if w > 0 {
+                sub.set_weight(i, j, w);
+            }
+        }
+    }
+
+    // The merging loop of Section 3.1.2: color exactly, merge the minimum-weight edge
+    // until at most k colors are needed. `vertex_of` maps original sub-graph vertices to
+    // vertices of the current (merged) graph.
+    let mut current = sub.clone();
+    let mut vertex_of: Vec<usize> = (0..sub.vertex_count()).collect();
+    let mut merges = 0usize;
+    let mut optimal = true;
+    let coloring = loop {
+        if current.vertex_count() == 0 {
+            break Vec::new();
+        }
+        let result = coloring::minimum_coloring(&current, options.search_budget);
+        let (colors_needed, coloring) = match result {
+            Ok(pair) => pair,
+            Err(LayoutError::SearchBudgetExceeded { .. }) => {
+                // graph too large for the exact colorer — fall back to greedy
+                optimal = false;
+                let c = coloring::greedy_coloring(&current);
+                (coloring::color_count(&c), c)
+            }
+            Err(e) => return Err(e),
+        };
+        if colors_needed <= k {
+            break coloring;
+        }
+        // not k-colorable: merge the minimum-weight edge and retry
+        optimal = false;
+        let (a, b, _w) = current
+            .min_weight_edge()
+            .expect("a graph needing more colors than k has at least one edge");
+        let (merged, mapping) = current.merged(a, b);
+        for slot in vertex_of.iter_mut() {
+            *slot = mapping[*slot];
+        }
+        current = merged;
+        merges += 1;
+    };
+
+    // Map colors to real column numbers. If the fallback greedy coloring still uses more
+    // than k colors, wrap around (an approximation; counted in the cost).
+    let color_to_column = |color: usize| -> usize {
+        if k == 0 {
+            reserved_columns.first().copied().unwrap_or(0)
+        } else {
+            available_columns[color % k]
+        }
+    };
+
+    let mut vertex_columns = vec![0usize; graph.vertex_count()];
+    for (&idx, &col) in &forced_vertices {
+        vertex_columns[idx] = col;
+    }
+    for (sub_idx, &full_idx) in sub_to_full.iter().enumerate() {
+        let color = coloring
+            .get(vertex_of[sub_idx])
+            .copied()
+            .unwrap_or(0);
+        vertex_columns[full_idx] = color_to_column(color);
+    }
+
+    let mut var_columns: BTreeMap<VarId, Vec<usize>> = BTreeMap::new();
+    for (idx, vertex) in graph.vertices() {
+        let entry = var_columns.entry(vertex.var).or_default();
+        let col = vertex_columns[idx];
+        if !entry.contains(&col) {
+            entry.push(col);
+        }
+    }
+    for cols in var_columns.values_mut() {
+        cols.sort_unstable();
+    }
+
+    let cost = graph.assignment_cost(&vertex_columns);
+    Ok(ColumnAssignment {
+        columns: options.columns,
+        vertex_columns,
+        var_columns,
+        cost,
+        optimal: optimal && cost == 0,
+        merges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Vertex;
+
+    fn vertex(i: u32, size: u64, accesses: u64) -> Vertex {
+        Vertex {
+            var: VarId(i),
+            name: format!("v{i}"),
+            size,
+            accesses,
+        }
+    }
+
+    /// A graph of 3 mutually conflicting variables plus one isolated variable.
+    fn sample_graph() -> ConflictGraph {
+        let mut g = ConflictGraph::new();
+        for i in 0..4 {
+            g.add_vertex(vertex(i, 256, 100));
+        }
+        g.set_weight(0, 1, 10);
+        g.set_weight(0, 2, 20);
+        g.set_weight(1, 2, 30);
+        g
+    }
+
+    #[test]
+    fn colorable_graph_gets_zero_cost() {
+        let g = sample_graph();
+        let a = assign_columns(&g, &LayoutOptions::new(4, 512)).unwrap();
+        assert_eq!(a.cost, 0);
+        assert!(a.optimal);
+        assert_eq!(a.merges, 0);
+        // conflicting variables in distinct columns
+        assert_ne!(a.vertex_columns[0], a.vertex_columns[1]);
+        assert_ne!(a.vertex_columns[0], a.vertex_columns[2]);
+        assert_ne!(a.vertex_columns[1], a.vertex_columns[2]);
+        assert_eq!(a.columns, 4);
+        assert_eq!(a.columns_of(VarId(0)).len(), 1);
+    }
+
+    #[test]
+    fn merging_kicks_in_when_not_colorable() {
+        // triangle but only 2 columns: must merge the lightest edge (0-1, weight 10)
+        let g = sample_graph();
+        let a = assign_columns(&g, &LayoutOptions::new(2, 512)).unwrap();
+        assert!(a.merges >= 1);
+        assert!(!a.optimal);
+        // the minimum achievable cost is 10 (vertices 0 and 1 share)
+        assert_eq!(a.cost, 10);
+        assert_eq!(a.vertex_columns[0], a.vertex_columns[1]);
+        assert_ne!(a.vertex_columns[0], a.vertex_columns[2]);
+    }
+
+    #[test]
+    fn single_column_merges_everything() {
+        let g = sample_graph();
+        let a = assign_columns(&g, &LayoutOptions::new(1, 512)).unwrap();
+        assert!(a.vertex_columns.iter().all(|&c| c == 0));
+        assert_eq!(a.cost, 60);
+    }
+
+    #[test]
+    fn forced_variables_keep_their_column() {
+        let g = sample_graph();
+        let opts = LayoutOptions::new(4, 512).force(VarId(3), 0);
+        let a = assign_columns(&g, &opts).unwrap();
+        assert_eq!(a.vertex_columns[3], 0);
+        // the other variables avoid the reserved column
+        for i in 0..3 {
+            assert_ne!(a.vertex_columns[i], 0);
+        }
+        assert_eq!(a.cost, 0);
+        assert_eq!(a.vars_in_column(0), vec![VarId(3)]);
+    }
+
+    #[test]
+    fn forcing_everything_leaves_free_set_empty() {
+        let mut g = ConflictGraph::new();
+        g.add_vertex(vertex(0, 64, 10));
+        g.add_vertex(vertex(1, 64, 10));
+        let opts = LayoutOptions::new(2, 512)
+            .force(VarId(0), 0)
+            .force(VarId(1), 1);
+        let a = assign_columns(&g, &opts).unwrap();
+        assert_eq!(a.vertex_columns, vec![0, 1]);
+        assert_eq!(a.cost, 0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let g = sample_graph();
+        assert!(matches!(
+            assign_columns(&g, &LayoutOptions::new(0, 512)),
+            Err(LayoutError::NoColumns)
+        ));
+        assert!(matches!(
+            assign_columns(&g, &LayoutOptions::new(4, 512).force(VarId(0), 9)),
+            Err(LayoutError::ForcedColumnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            assign_columns(&g, &LayoutOptions::new(4, 512).force(VarId(9), 1)),
+            Err(LayoutError::UnknownVariable { .. })
+        ));
+        // forcing all columns as scratchpad while other variables remain
+        let opts = LayoutOptions::new(1, 512).force(VarId(3), 0);
+        assert!(matches!(
+            assign_columns(&g, &opts),
+            Err(LayoutError::TooManyReserved { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = ConflictGraph::new();
+        let a = assign_columns(&g, &LayoutOptions::default()).unwrap();
+        assert!(a.vertex_columns.is_empty());
+        assert_eq!(a.cost, 0);
+        assert!(a.optimal);
+    }
+
+    #[test]
+    fn heavily_conflicting_variable_gets_own_column() {
+        // v0 conflicts heavily with everyone; with 2 columns the lighter pair shares.
+        let mut g = ConflictGraph::new();
+        for i in 0..3 {
+            g.add_vertex(vertex(i, 128, 50));
+        }
+        g.set_weight(0, 1, 1000);
+        g.set_weight(0, 2, 1000);
+        g.set_weight(1, 2, 1);
+        let a = assign_columns(&g, &LayoutOptions::new(2, 512)).unwrap();
+        assert_eq!(a.cost, 1);
+        assert_ne!(a.vertex_columns[0], a.vertex_columns[1]);
+        assert_ne!(a.vertex_columns[0], a.vertex_columns[2]);
+        assert_eq!(a.vertex_columns[1], a.vertex_columns[2]);
+    }
+}

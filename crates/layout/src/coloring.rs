@@ -1,0 +1,300 @@
+//! Graph coloring for column assignment.
+//!
+//! The paper colors the conflict graph after deleting its zero-weight edges: if the graph is
+//! `k`-colorable (with `k` the number of columns) the assignment has cost `W = 0`. The exact
+//! colorer here plays the role of Coudert's exact algorithm cited by the paper: a DSATUR-
+//! ordered branch-and-bound search with a greedy-clique lower bound, which colors the small
+//! conflict graphs of embedded kernels quickly. A greedy DSATUR colorer is provided both as
+//! the upper bound for the exact search and as a fallback for graphs that exceed the search
+//! budget.
+
+use crate::error::LayoutError;
+use crate::graph::ConflictGraph;
+
+/// Adjacency over the non-zero-weight edges of a conflict graph.
+fn adjacency(graph: &ConflictGraph) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); graph.vertex_count()];
+    for (a, b, _w) in graph.edges() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    adj
+}
+
+/// Greedy DSATUR coloring: repeatedly colors the uncolored vertex with the highest
+/// saturation (number of distinct neighbor colors), breaking ties by degree. Returns the
+/// color of every vertex; colors are `0..n_colors`.
+pub fn greedy_coloring(graph: &ConflictGraph) -> Vec<usize> {
+    let n = graph.vertex_count();
+    let adj = adjacency(graph);
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    for _ in 0..n {
+        // pick uncolored vertex with max saturation, then max degree
+        let pick = (0..n)
+            .filter(|&v| colors[v].is_none())
+            .max_by_key(|&v| {
+                let mut neigh_colors: Vec<usize> =
+                    adj[v].iter().filter_map(|&u| colors[u]).collect();
+                neigh_colors.sort_unstable();
+                neigh_colors.dedup();
+                (neigh_colors.len(), adj[v].len())
+            })
+            .expect("there is an uncolored vertex");
+        let used: Vec<usize> = adj[pick].iter().filter_map(|&u| colors[u]).collect();
+        let mut c = 0;
+        while used.contains(&c) {
+            c += 1;
+        }
+        colors[pick] = Some(c);
+    }
+    colors.into_iter().map(|c| c.unwrap_or(0)).collect()
+}
+
+/// Number of colors used by a coloring.
+pub fn color_count(coloring: &[usize]) -> usize {
+    coloring.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Returns `true` if `coloring` assigns different colors to the endpoints of every
+/// non-zero-weight edge.
+pub fn is_proper(graph: &ConflictGraph, coloring: &[usize]) -> bool {
+    graph
+        .edges()
+        .all(|(a, b, _)| coloring[a] != coloring[b])
+}
+
+/// Greedy maximum-clique heuristic, used as a lower bound for the exact search.
+pub fn clique_lower_bound(graph: &ConflictGraph) -> usize {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let adj = adjacency(graph);
+    let mut best = 1;
+    // grow a clique greedily from each vertex, highest degree first
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+    for &start in order.iter().take(16) {
+        let mut clique = vec![start];
+        for &cand in &order {
+            if clique.contains(&cand) {
+                continue;
+            }
+            if clique.iter().all(|&c| adj[cand].contains(&c)) {
+                clique.push(cand);
+            }
+        }
+        best = best.max(clique.len());
+    }
+    best
+}
+
+/// Default number of backtracking nodes the exact colorer may expand before giving up.
+pub const DEFAULT_SEARCH_BUDGET: u64 = 2_000_000;
+
+/// Tries to color the graph with at most `k` colors exactly (backtracking with DSATUR
+/// ordering). Returns `Ok(Some(coloring))` on success, `Ok(None)` if the graph is provably
+/// not `k`-colorable, and an error if the search budget is exhausted.
+pub fn k_colorable(
+    graph: &ConflictGraph,
+    k: usize,
+    budget: u64,
+) -> Result<Option<Vec<usize>>, LayoutError> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Ok(Some(Vec::new()));
+    }
+    if k == 0 {
+        return Ok(None);
+    }
+    let adj = adjacency(graph);
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut nodes: u64 = 0;
+
+    fn solve(
+        adj: &[Vec<usize>],
+        colors: &mut Vec<Option<usize>>,
+        k: usize,
+        nodes: &mut u64,
+        budget: u64,
+    ) -> Result<bool, LayoutError> {
+        *nodes += 1;
+        if *nodes > budget {
+            return Err(LayoutError::SearchBudgetExceeded {
+                vertices: colors.len(),
+            });
+        }
+        // pick the uncolored vertex with maximum saturation (fail-first)
+        let next = (0..colors.len())
+            .filter(|&v| colors[v].is_none())
+            .max_by_key(|&v| {
+                let mut nc: Vec<usize> = adj[v].iter().filter_map(|&u| colors[u]).collect();
+                nc.sort_unstable();
+                nc.dedup();
+                (nc.len(), adj[v].len())
+            });
+        let Some(v) = next else {
+            return Ok(true); // everything colored
+        };
+        let used: Vec<usize> = adj[v].iter().filter_map(|&u| colors[u]).collect();
+        // limit symmetric branches: only try colors up to (max used so far + 1)
+        let max_used = colors.iter().flatten().copied().max().map_or(0, |m| m + 1);
+        for c in 0..k.min(max_used + 1) {
+            if used.contains(&c) {
+                continue;
+            }
+            colors[v] = Some(c);
+            if solve(adj, colors, k, nodes, budget)? {
+                return Ok(true);
+            }
+            colors[v] = None;
+        }
+        Ok(false)
+    }
+
+    match solve(&adj, &mut colors, k, &mut nodes, budget)? {
+        true => Ok(Some(colors.into_iter().map(|c| c.unwrap()).collect())),
+        false => Ok(None),
+    }
+}
+
+/// Computes a minimum coloring exactly (within `budget` search nodes): returns the
+/// chromatic number and one optimal coloring.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::SearchBudgetExceeded`] if the search budget is exhausted; callers
+/// fall back to [`greedy_coloring`].
+pub fn minimum_coloring(
+    graph: &ConflictGraph,
+    budget: u64,
+) -> Result<(usize, Vec<usize>), LayoutError> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Ok((0, Vec::new()));
+    }
+    let greedy = greedy_coloring(graph);
+    let upper = color_count(&greedy);
+    let lower = clique_lower_bound(graph);
+    let mut best = greedy;
+    let mut best_k = upper;
+    // try to beat the greedy bound from the clique bound upwards
+    let mut k = lower.max(1);
+    while k < best_k {
+        match k_colorable(graph, k, budget)? {
+            Some(coloring) => {
+                best = coloring;
+                best_k = k;
+                break;
+            }
+            None => k += 1,
+        }
+    }
+    Ok((best_k, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Vertex;
+    use ccache_trace::VarId;
+
+    fn vertex(i: u32) -> Vertex {
+        Vertex {
+            var: VarId(i),
+            name: format!("v{i}"),
+            size: 64,
+            accesses: 1,
+        }
+    }
+
+    fn complete_graph(n: usize) -> ConflictGraph {
+        let mut g = ConflictGraph::new();
+        for i in 0..n {
+            g.add_vertex(vertex(i as u32));
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                g.set_weight(i, j, 1);
+            }
+        }
+        g
+    }
+
+    fn cycle_graph(n: usize) -> ConflictGraph {
+        let mut g = ConflictGraph::new();
+        for i in 0..n {
+            g.add_vertex(vertex(i as u32));
+        }
+        for i in 0..n {
+            g.set_weight(i, (i + 1) % n, 1);
+        }
+        g
+    }
+
+    #[test]
+    fn greedy_produces_proper_colorings() {
+        for g in [complete_graph(5), cycle_graph(5), cycle_graph(6)] {
+            let c = greedy_coloring(&g);
+            assert!(is_proper(&g, &c));
+        }
+    }
+
+    #[test]
+    fn exact_chromatic_number_of_known_graphs() {
+        // K5 needs 5 colors
+        let (k, c) = minimum_coloring(&complete_graph(5), DEFAULT_SEARCH_BUDGET).unwrap();
+        assert_eq!(k, 5);
+        assert!(is_proper(&complete_graph(5), &c));
+        // odd cycle needs 3, even cycle needs 2
+        let (k, _) = minimum_coloring(&cycle_graph(7), DEFAULT_SEARCH_BUDGET).unwrap();
+        assert_eq!(k, 3);
+        let (k, _) = minimum_coloring(&cycle_graph(8), DEFAULT_SEARCH_BUDGET).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn k_colorable_decisions() {
+        let g = complete_graph(4);
+        assert!(k_colorable(&g, 3, DEFAULT_SEARCH_BUDGET).unwrap().is_none());
+        let c = k_colorable(&g, 4, DEFAULT_SEARCH_BUDGET).unwrap().unwrap();
+        assert!(is_proper(&g, &c));
+        assert!(color_count(&c) <= 4);
+        assert!(k_colorable(&g, 0, DEFAULT_SEARCH_BUDGET).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty = ConflictGraph::new();
+        assert_eq!(minimum_coloring(&empty, 100).unwrap().0, 0);
+        let mut g = ConflictGraph::new();
+        g.add_vertex(vertex(0));
+        g.add_vertex(vertex(1));
+        let (k, c) = minimum_coloring(&g, 100).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(c, vec![0, 0]);
+        assert_eq!(clique_lower_bound(&g), 1);
+        assert_eq!(clique_lower_bound(&empty), 0);
+    }
+
+    #[test]
+    fn clique_bound_matches_on_complete_graphs() {
+        assert_eq!(clique_lower_bound(&complete_graph(6)), 6);
+        assert!(clique_lower_bound(&cycle_graph(5)) >= 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = complete_graph(12);
+        // a budget of 1 node cannot even color the first vertex tree
+        let err = k_colorable(&g, 11, 1).unwrap_err();
+        assert!(matches!(err, LayoutError::SearchBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn color_count_counts_distinct() {
+        assert_eq!(color_count(&[]), 0);
+        assert_eq!(color_count(&[0, 0, 0]), 1);
+        assert_eq!(color_count(&[0, 2, 1]), 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the data-layout algorithms.
+
+use ccache_trace::VarId;
+use std::fmt;
+
+/// Errors produced by conflict-graph construction and column assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// The requested number of columns was zero.
+    NoColumns,
+    /// A forced (pre-assigned) variable referred to a column that does not exist.
+    ForcedColumnOutOfRange {
+        /// The variable being forced.
+        var: VarId,
+        /// The requested column.
+        column: usize,
+        /// Number of columns available.
+        columns: usize,
+    },
+    /// More columns were reserved for scratchpad than exist in the cache.
+    TooManyReserved {
+        /// Columns reserved for scratchpad pre-assignments.
+        reserved: usize,
+        /// Total number of columns.
+        columns: usize,
+    },
+    /// A variable was named that does not appear in the profile or graph.
+    UnknownVariable {
+        /// The missing variable.
+        var: VarId,
+    },
+    /// The exact colorer exceeded its node budget (graph too large); the caller should fall
+    /// back to the greedy colorer.
+    SearchBudgetExceeded {
+        /// Number of vertices in the offending graph.
+        vertices: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::NoColumns => write!(f, "cannot assign variables to zero columns"),
+            LayoutError::ForcedColumnOutOfRange {
+                var,
+                column,
+                columns,
+            } => write!(
+                f,
+                "variable {var} forced to column {column} but only {columns} columns exist"
+            ),
+            LayoutError::TooManyReserved { reserved, columns } => write!(
+                f,
+                "{reserved} columns reserved for scratchpad but the cache has only {columns}"
+            ),
+            LayoutError::UnknownVariable { var } => {
+                write!(f, "variable {var} is not present in the profile")
+            }
+            LayoutError::SearchBudgetExceeded { vertices } => write!(
+                f,
+                "exact coloring abandoned: graph with {vertices} vertices exceeded the search budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(LayoutError::NoColumns.to_string().contains("zero columns"));
+        let e = LayoutError::ForcedColumnOutOfRange {
+            var: VarId(3),
+            column: 9,
+            columns: 4,
+        };
+        assert!(e.to_string().contains("v3"));
+        assert!(e.to_string().contains('9'));
+        let e = LayoutError::TooManyReserved {
+            reserved: 5,
+            columns: 4,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<T: std::error::Error + Send + Sync>() {}
+        assert_err::<LayoutError>();
+    }
+}

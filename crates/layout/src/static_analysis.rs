@@ -1,0 +1,306 @@
+//! Approximate, compile-time weight computation (Section 3.1.1, second method).
+//!
+//! When no profile is available the paper estimates access counts and lifetimes from the
+//! compiler's intermediate form: loop iteration counts and branch probabilities give an
+//! expected number of accesses per variable, and the position of statements gives an
+//! approximate lifetime. This module provides a small loop/branch/access IR
+//! ([`ProgramIr`]) and derives a [`ConflictGraph`] from it.
+
+use crate::graph::{ConflictGraph, Vertex};
+use ccache_trace::{Interval, SymbolTable, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One statement of the analysis IR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `count` accesses to `var` each time this statement executes.
+    Access {
+        /// The accessed variable.
+        var: VarId,
+        /// Accesses per execution of the statement.
+        count: u64,
+        /// Whether the accesses are writes (recorded but not used for weights).
+        write: bool,
+    },
+    /// A counted loop executing its body `iterations` times.
+    Loop {
+        /// Estimated iteration count.
+        iterations: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A two-way branch taken with probability `probability`.
+    Branch {
+        /// Probability of taking the `then_body` (0.0 ..= 1.0).
+        probability: f64,
+        /// Statements executed when the branch is taken.
+        then_body: Vec<Stmt>,
+        /// Statements executed when the branch is not taken.
+        else_body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for a read access.
+    pub fn read(var: VarId, count: u64) -> Stmt {
+        Stmt::Access {
+            var,
+            count,
+            write: false,
+        }
+    }
+
+    /// Convenience constructor for a write access.
+    pub fn write(var: VarId, count: u64) -> Stmt {
+        Stmt::Access {
+            var,
+            count,
+            write: true,
+        }
+    }
+
+    /// Convenience constructor for a loop.
+    pub fn repeat(iterations: u64, body: Vec<Stmt>) -> Stmt {
+        Stmt::Loop { iterations, body }
+    }
+}
+
+/// Estimated per-variable statistics derived from the IR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatedVariable {
+    /// The variable.
+    pub var: VarId,
+    /// Expected number of accesses over the whole program.
+    pub expected_accesses: f64,
+    /// Approximate lifetime in units of expected program position.
+    pub lifetime: Interval,
+}
+
+/// A procedure (or whole program) in the analysis IR.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgramIr {
+    /// Top-level statements in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl ProgramIr {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        ProgramIr { stmts: Vec::new() }
+    }
+
+    /// Creates a program from statements.
+    pub fn from_stmts(stmts: Vec<Stmt>) -> Self {
+        ProgramIr { stmts }
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, stmt: Stmt) {
+        self.stmts.push(stmt);
+    }
+
+    /// Estimates per-variable access counts and approximate lifetimes.
+    ///
+    /// The walk maintains an *expected position* counter that advances by the expected
+    /// number of accesses executed; a variable's lifetime spans from the position of its
+    /// first (possible) access to its last.
+    pub fn estimate(&self) -> Vec<EstimatedVariable> {
+        #[derive(Default)]
+        struct Acc {
+            expected: f64,
+            first: Option<f64>,
+            last: f64,
+        }
+        fn walk(stmts: &[Stmt], multiplier: f64, pos: &mut f64, acc: &mut BTreeMap<VarId, Acc>) {
+            for stmt in stmts {
+                match stmt {
+                    Stmt::Access { var, count, .. } => {
+                        let expected = multiplier * *count as f64;
+                        let entry = acc.entry(*var).or_default();
+                        entry.expected += expected;
+                        if entry.first.is_none() {
+                            entry.first = Some(*pos);
+                        }
+                        *pos += expected;
+                        entry.last = *pos;
+                    }
+                    Stmt::Loop { iterations, body } => {
+                        let start = *pos;
+                        walk(body, multiplier * *iterations as f64, pos, acc);
+                        let end = *pos;
+                        // Every variable accessed inside the loop is live for the whole
+                        // loop execution (iterations interleave its accesses with the
+                        // others'), so extend those lifetimes to span [start, end].
+                        for a in acc.values_mut() {
+                            if a.last > start {
+                                if let Some(first) = a.first.as_mut() {
+                                    if *first > start {
+                                        *first = start;
+                                    }
+                                }
+                                if a.last < end {
+                                    a.last = end;
+                                }
+                            }
+                        }
+                    }
+                    Stmt::Branch {
+                        probability,
+                        then_body,
+                        else_body,
+                    } => {
+                        let p = probability.clamp(0.0, 1.0);
+                        walk(then_body, multiplier * p, pos, acc);
+                        walk(else_body, multiplier * (1.0 - p), pos, acc);
+                    }
+                }
+            }
+        }
+        let mut acc = BTreeMap::new();
+        let mut pos = 0.0;
+        walk(&self.stmts, 1.0, &mut pos, &mut acc);
+        acc.into_iter()
+            .map(|(var, a)| EstimatedVariable {
+                var,
+                expected_accesses: a.expected,
+                lifetime: Interval::new(
+                    a.first.unwrap_or(0.0).round() as u64,
+                    (a.last.round() as u64).max(a.first.unwrap_or(0.0).round() as u64),
+                )
+                .expect("last >= first by construction"),
+            })
+            .collect()
+    }
+
+    /// Derives a conflict graph from the IR estimates.
+    ///
+    /// Two variables with overlapping approximate lifetimes get an edge weighted by the
+    /// minimum of their expected access counts *inside the overlap*, assuming accesses are
+    /// uniformly distributed over each variable's lifetime — the compile-time analogue of
+    /// the profile-based `MIN(n^j_i, n^i_j)` weight.
+    pub fn conflict_graph(&self, symbols: &SymbolTable) -> (ConflictGraph, Vec<VarId>) {
+        let estimates = self.estimate();
+        let vars: Vec<VarId> = estimates.iter().map(|e| e.var).collect();
+        let mut graph = ConflictGraph::new();
+        for est in &estimates {
+            let (name, size) = symbols
+                .region(est.var)
+                .map(|r| (r.name.clone(), r.size))
+                .unwrap_or_else(|| (est.var.to_string(), 0));
+            graph.add_vertex(Vertex {
+                var: est.var,
+                name,
+                size,
+                accesses: est.expected_accesses.round() as u64,
+            });
+        }
+        for i in 0..estimates.len() {
+            for j in (i + 1)..estimates.len() {
+                let (a, b) = (&estimates[i], &estimates[j]);
+                let Some(delta) = a.lifetime.intersection(&b.lifetime) else {
+                    continue;
+                };
+                // A single-point overlap is an artefact of one phase ending exactly where
+                // the next begins; it represents no real interleaving.
+                if delta.len() <= 1 {
+                    continue;
+                }
+                let frac_a = delta.len() as f64 / a.lifetime.len() as f64;
+                let frac_b = delta.len() as f64 / b.lifetime.len() as f64;
+                let w = (a.expected_accesses * frac_a)
+                    .min(b.expected_accesses * frac_b)
+                    .round() as u64;
+                if w > 0 {
+                    graph.set_weight(i, j, w);
+                }
+            }
+        }
+        (graph, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_iterations_multiply_access_counts() {
+        let ir = ProgramIr::from_stmts(vec![Stmt::repeat(
+            10,
+            vec![Stmt::read(VarId(0), 2), Stmt::write(VarId(1), 1)],
+        )]);
+        let est = ir.estimate();
+        assert_eq!(est.len(), 2);
+        assert!((est[0].expected_accesses - 20.0).abs() < 1e-9);
+        assert!((est[1].expected_accesses - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_probabilities_scale_counts() {
+        let ir = ProgramIr::from_stmts(vec![Stmt::Branch {
+            probability: 0.25,
+            then_body: vec![Stmt::read(VarId(0), 100)],
+            else_body: vec![Stmt::read(VarId(1), 100)],
+        }]);
+        let est = ir.estimate();
+        assert!((est[0].expected_accesses - 25.0).abs() < 1e-9);
+        assert!((est[1].expected_accesses - 75.0).abs() < 1e-9);
+        // out-of-range probabilities are clamped
+        let ir = ProgramIr::from_stmts(vec![Stmt::Branch {
+            probability: 2.0,
+            then_body: vec![Stmt::read(VarId(0), 10)],
+            else_body: vec![],
+        }]);
+        assert!((ir.estimate()[0].expected_accesses - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_phases_have_disjoint_lifetimes() {
+        let ir = ProgramIr::from_stmts(vec![
+            Stmt::repeat(100, vec![Stmt::read(VarId(0), 1)]),
+            Stmt::repeat(100, vec![Stmt::read(VarId(1), 1)]),
+        ]);
+        let symbols = SymbolTable::new();
+        let (g, vars) = ir.conflict_graph(&symbols);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(g.edge_count(), 0, "sequential phases must not conflict");
+    }
+
+    #[test]
+    fn interleaved_loop_produces_edge() {
+        let ir = ProgramIr::from_stmts(vec![Stmt::repeat(
+            50,
+            vec![Stmt::read(VarId(0), 1), Stmt::read(VarId(1), 2)],
+        )]);
+        let mut symbols = SymbolTable::new();
+        symbols.allocate("a", 64, 8).unwrap();
+        symbols.allocate("b", 64, 8).unwrap();
+        let (g, _) = ir.conflict_graph(&symbols);
+        assert_eq!(g.edge_count(), 1);
+        // min(50, 100) scaled by near-full overlap: roughly 50
+        let w = g.weight(0, 1);
+        assert!(w >= 40 && w <= 50, "weight {w} outside expected band");
+        assert_eq!(g.vertex(0).unwrap().name, "a");
+        assert_eq!(g.vertex(0).unwrap().size, 64);
+    }
+
+    #[test]
+    fn empty_program_yields_empty_graph() {
+        let ir = ProgramIr::new();
+        let (g, vars) = ir.conflict_graph(&SymbolTable::new());
+        assert!(g.is_empty());
+        assert!(vars.is_empty());
+        assert!(ir.estimate().is_empty());
+    }
+
+    #[test]
+    fn push_builds_program_incrementally() {
+        let mut ir = ProgramIr::new();
+        ir.push(Stmt::read(VarId(3), 4));
+        assert_eq!(ir.stmts.len(), 1);
+        let est = ir.estimate();
+        assert_eq!(est[0].var, VarId(3));
+        assert_eq!(est[0].lifetime, Interval::new(0, 4).unwrap());
+    }
+}

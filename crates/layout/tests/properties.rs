@@ -1,0 +1,132 @@
+//! Property-based tests of the layout algorithms' invariants.
+
+use ccache_layout::coloring::{greedy_coloring, is_proper, k_colorable, DEFAULT_SEARCH_BUDGET};
+use ccache_layout::weights::{conflict_graph_from_trace, UnitMap, WeightOptions};
+use ccache_layout::{assign_columns, ConflictGraph, LayoutOptions, Vertex};
+use ccache_trace::{AccessKind, SymbolTable, TraceRecorder, VarId};
+use proptest::prelude::*;
+
+fn arbitrary_graph(max_vertices: usize) -> impl Strategy<Value = ConflictGraph> {
+    (2usize..max_vertices).prop_flat_map(|n| {
+        prop::collection::vec(0u64..100, n * (n - 1) / 2).prop_map(move |weights| {
+            let mut g = ConflictGraph::new();
+            for i in 0..n {
+                g.add_vertex(Vertex {
+                    var: VarId(i as u32),
+                    name: format!("v{i}"),
+                    size: 32 * (i as u64 + 1),
+                    accesses: 5,
+                });
+            }
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if weights[k] > 0 {
+                        g.set_weight(i, j, weights[k]);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging the minimum-weight edge reduces the vertex count by one, preserves total
+    /// weight minus the merged edge, and keeps the assignment-cost function consistent.
+    #[test]
+    fn merge_preserves_weight_accounting(graph in arbitrary_graph(9)) {
+        if let Some((a, b, w)) = graph.min_weight_edge() {
+            let (merged, mapping) = graph.merged(a, b);
+            prop_assert_eq!(merged.vertex_count(), graph.vertex_count() - 1);
+            prop_assert_eq!(mapping.len(), graph.vertex_count());
+            prop_assert_eq!(mapping[a], mapping[b]);
+            prop_assert_eq!(merged.total_weight(), graph.total_weight() - w);
+        }
+    }
+
+    /// `k_colorable` decisions are monotone in `k`: if a graph is k-colorable it is also
+    /// (k+1)-colorable.
+    #[test]
+    fn colorability_is_monotone(graph in arbitrary_graph(8), k in 1usize..5) {
+        let small = k_colorable(&graph, k, DEFAULT_SEARCH_BUDGET).unwrap();
+        let big = k_colorable(&graph, k + 1, DEFAULT_SEARCH_BUDGET).unwrap();
+        if small.is_some() {
+            prop_assert!(big.is_some());
+        }
+        if let Some(c) = small {
+            prop_assert!(is_proper(&graph, &c));
+        }
+    }
+
+    /// Forced variables always end up in their forced column and never raise the cost of
+    /// the remaining assignment above the cost of ignoring them entirely plus their edges.
+    #[test]
+    fn forced_assignments_are_respected(graph in arbitrary_graph(7), forced_col in 0usize..4) {
+        let forced_var = VarId(0);
+        let opts = LayoutOptions::new(4, 512).force(forced_var, forced_col);
+        let a = assign_columns(&graph, &opts).unwrap();
+        let idx = graph.index_of(forced_var).unwrap();
+        prop_assert_eq!(a.vertex_columns[idx], forced_col);
+        prop_assert!(a.columns_of(forced_var).contains(&forced_col));
+    }
+
+    /// The greedy coloring of the unit-level conflict graph built from a random trace is
+    /// proper, and every unit resolves back to a region of the symbol table.
+    #[test]
+    fn trace_to_graph_pipeline_is_consistent(
+        var_sizes in prop::collection::vec(64u64..1500, 2..6),
+        ops in prop::collection::vec((0usize..6, 0u64..64), 10..300),
+    ) {
+        let mut rec = TraceRecorder::new();
+        let vars: Vec<VarId> = var_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| rec.allocate(&format!("v{i}"), *s, 8))
+            .collect();
+        for (v, off) in &ops {
+            let var = vars[v % vars.len()];
+            rec.record(var, off % var_sizes[v % vars.len()], 4, AccessKind::Read);
+        }
+        let (trace, symbols) = rec.finish();
+        let opts = WeightOptions { column_bytes: 512, split_large_variables: true, min_accesses: 1 };
+        let (graph, units) = conflict_graph_from_trace(&trace, &symbols, &opts);
+        prop_assert_eq!(graph.vertex_count(), units.len());
+        // every unit's (var, offset) resolves back to itself
+        for (i, unit) in units.iter().enumerate() {
+            prop_assert_eq!(units.resolve(unit.var, unit.offset), Some(i));
+            prop_assert!(unit.size <= 512 || !opts.split_large_variables);
+        }
+        let coloring = greedy_coloring(&graph);
+        prop_assert!(is_proper(&graph, &coloring));
+    }
+
+    /// Unit maps partition each variable exactly: unit sizes sum to the variable size and
+    /// offsets tile the variable without gaps or overlap.
+    #[test]
+    fn unit_maps_tile_variables(sizes in prop::collection::vec(1u64..5000, 1..8), column in 64u64..1024) {
+        let mut symbols = SymbolTable::new();
+        for (i, s) in sizes.iter().enumerate() {
+            symbols.allocate(&format!("v{i}"), *s, 8).unwrap();
+        }
+        let opts = WeightOptions { column_bytes: column, split_large_variables: true, min_accesses: 1 };
+        let units = UnitMap::from_symbols(&symbols, &opts);
+        for region in symbols.iter() {
+            let mut parts: Vec<_> = units
+                .iter()
+                .filter(|u| u.var == region.id)
+                .collect();
+            parts.sort_by_key(|u| u.offset);
+            let total: u64 = parts.iter().map(|u| u.size).sum();
+            prop_assert_eq!(total, region.size);
+            let mut expected_offset = 0;
+            for p in parts {
+                prop_assert_eq!(p.offset, expected_offset);
+                expected_offset += p.size;
+            }
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The column cache: a set-associative cache whose replacement unit is restricted by a
+//! per-access [`ColumnMask`].
+//!
+//! Lookup behaves exactly like a standard set-associative cache — every way of the selected
+//! set is searched — so a hit never depends on the mask and repartitioning is graceful
+//! (Section 2.1). Only victim selection on a miss is restricted to the allowed columns.
+
+use crate::config::CacheConfig;
+use crate::error::SimError;
+use crate::mask::ColumnMask;
+use crate::replacement::ReplacementState;
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Whether the line holds valid data.
+    pub valid: bool,
+    /// Whether the line has been written since it was filled.
+    pub dirty: bool,
+    /// Tag (upper address bits) of the cached line.
+    pub tag: u64,
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eviction {
+    /// Base address of the evicted line.
+    pub line_addr: u64,
+    /// Whether the line was dirty (and therefore written back).
+    pub dirty: bool,
+    /// Column the line was evicted from.
+    pub column: usize,
+}
+
+/// Result of presenting one access to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The line was found; `column` is the way it was found in.
+    Hit {
+        /// Column (way) the data was found in.
+        column: usize,
+    },
+    /// The line was not found; it was filled into `column`, possibly evicting a line.
+    Miss {
+        /// Column (way) the new line was installed in.
+        column: usize,
+        /// The line that was evicted, if any valid line had to make room.
+        evicted: Option<Eviction>,
+    },
+    /// The line was not found and the mask allowed no column, so nothing was cached.
+    Bypass,
+}
+
+impl AccessOutcome {
+    /// Returns `true` for [`AccessOutcome::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+
+    /// Returns `true` for [`AccessOutcome::Miss`] or [`AccessOutcome::Bypass`].
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+
+    /// Returns the eviction caused by this access, if any.
+    pub fn eviction(&self) -> Option<Eviction> {
+        match self {
+            AccessOutcome::Miss { evicted, .. } => *evicted,
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct CacheSet {
+    lines: Vec<CacheLine>,
+    repl: ReplacementState,
+}
+
+/// A software-partitionable set-associative cache.
+///
+/// # Example
+///
+/// ```
+/// use ccache_sim::cache::ColumnCache;
+/// use ccache_sim::config::CacheConfig;
+/// use ccache_sim::mask::ColumnMask;
+///
+/// let mut cache = ColumnCache::new(CacheConfig::default());
+/// let everything = ColumnMask::all(4);
+/// assert!(cache.access(0x1000, false, everything).is_miss());
+/// assert!(cache.access(0x1000, false, everything).is_hit());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnCache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl ColumnCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets())
+            .map(|i| CacheSet {
+                lines: vec![CacheLine::default(); config.columns()],
+                repl: ReplacementState::new(config.replacement(), config.columns(), i as u64 + 1),
+            })
+            .collect();
+        ColumnCache {
+            config,
+            sets,
+            stats: CacheStats::new(config.columns()),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics to zero without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new(self.config.columns());
+    }
+
+    /// Presents one access to the cache and returns what happened.
+    ///
+    /// `mask` restricts which columns the replacement unit may fill on a miss; it never
+    /// affects lookup. An empty (or fully out-of-range) effective mask turns the access into
+    /// a [`AccessOutcome::Bypass`].
+    pub fn access(&mut self, addr: u64, is_write: bool, mask: ColumnMask) -> AccessOutcome {
+        let (tag, set_idx, _off) = self.config.split_addr(addr);
+        let columns = self.config.columns();
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+
+        // Lookup searches every column regardless of the mask.
+        if let Some(way) = set
+            .lines
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+        {
+            set.repl.on_access(way);
+            if is_write {
+                set.lines[way].dirty = true;
+            }
+            self.stats.hits += 1;
+            self.stats.column_hits[way] += 1;
+            return AccessOutcome::Hit { column: way };
+        }
+
+        // Miss: restrict the fill to the allowed columns.
+        let effective = mask.truncate(columns);
+        let valid: Vec<bool> = set.lines.iter().map(|l| l.valid).collect();
+        let Some(way) = set.repl.victim(effective, &valid) else {
+            self.stats.bypasses += 1;
+            return AccessOutcome::Bypass;
+        };
+
+        let victim = set.lines[way];
+        let evicted = if victim.valid {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Eviction {
+                line_addr: self.config.line_addr(victim.tag, set_idx),
+                dirty: victim.dirty,
+                column: way,
+            })
+        } else {
+            None
+        };
+
+        set.lines[way] = CacheLine {
+            valid: true,
+            dirty: is_write,
+            tag,
+        };
+        set.repl.on_fill(way);
+        self.stats.misses += 1;
+        self.stats.column_fills[way] += 1;
+        AccessOutcome::Miss {
+            column: way,
+            evicted,
+        }
+    }
+
+    /// Non-mutating lookup: returns the column holding `addr`, if cached.
+    pub fn probe(&self, addr: u64) -> Option<usize> {
+        let (tag, set_idx, _off) = self.config.split_addr(addr);
+        self.sets[set_idx]
+            .lines
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+    }
+
+    /// Returns `true` if `addr` is currently cached.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.probe(addr).is_some()
+    }
+
+    /// Pre-loads every line of `[base, base + size)` into the columns allowed by `mask`,
+    /// as software does when establishing a scratchpad region (Section 2.3). Returns the
+    /// number of lines that had to be fetched (i.e. missed).
+    pub fn preload(&mut self, base: u64, size: u64, mask: ColumnMask) -> u64 {
+        let line = self.config.line_size();
+        let mut fetched = 0;
+        let mut addr = base - base % line;
+        while addr < base + size {
+            if self.access(addr, false, mask).is_miss() {
+                fetched += 1;
+            }
+            addr += line;
+        }
+        fetched
+    }
+
+    /// Invalidates every line without writing anything back. Returns the number of lines
+    /// dropped.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            for line in &mut set.lines {
+                if line.valid {
+                    dropped += 1;
+                    line.valid = false;
+                    line.dirty = false;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Writes back every dirty line and invalidates the cache. Returns the number of
+    /// writebacks performed (also added to the statistics).
+    pub fn flush(&mut self) -> u64 {
+        let mut writebacks = 0;
+        for set in &mut self.sets {
+            for line in &mut set.lines {
+                if line.valid && line.dirty {
+                    writebacks += 1;
+                }
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+        self.stats.writebacks += writebacks;
+        writebacks
+    }
+
+    /// Number of valid lines currently held in `column`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ColumnOutOfRange`] if `column` does not exist.
+    pub fn occupancy(&self, column: usize) -> Result<usize, SimError> {
+        if column >= self.config.columns() {
+            return Err(SimError::ColumnOutOfRange {
+                column,
+                columns: self.config.columns(),
+            });
+        }
+        Ok(self
+            .sets
+            .iter()
+            .filter(|s| s.lines[column].valid)
+            .count())
+    }
+
+    /// Total number of valid lines in the cache.
+    pub fn valid_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Iterates over `(set, column, line)` for every valid line — used by tests and
+    /// invariant checks.
+    pub fn valid_line_addrs(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for (si, set) in self.sets.iter().enumerate() {
+            for (wi, line) in set.lines.iter().enumerate() {
+                if line.valid {
+                    out.push((si, wi, self.config.line_addr(line.tag, si)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> ColumnCache {
+        ColumnCache::new(CacheConfig::default()) // 2 KiB, 4 columns, 32 B lines, 16 sets
+    }
+
+    #[test]
+    fn miss_then_hit_same_line() {
+        let mut c = small_cache();
+        let m = ColumnMask::all(4);
+        assert!(c.access(0x1000, false, m).is_miss());
+        assert!(c.access(0x1000, false, m).is_hit());
+        assert!(c.access(0x101f, true, m).is_hit()); // same 32-byte line
+        assert!(c.access(0x1020, false, m).is_miss()); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn fills_stay_within_mask() {
+        let mut c = small_cache();
+        let m = ColumnMask::single(2);
+        // 8 distinct lines mapping to the same set: set stride = sets * line = 512
+        for i in 0..8u64 {
+            let out = c.access(0x1000 + i * 512, false, m);
+            match out {
+                AccessOutcome::Miss { column, .. } => assert_eq!(column, 2),
+                other => panic!("expected miss, got {other:?}"),
+            }
+        }
+        // only one line can survive in a single column per set
+        assert_eq!(c.valid_lines(), 1);
+        assert_eq!(c.occupancy(2).unwrap(), 1);
+        assert_eq!(c.occupancy(0).unwrap(), 0);
+        assert_eq!(c.stats().evictions, 7);
+    }
+
+    #[test]
+    fn hits_ignore_the_mask() {
+        let mut c = small_cache();
+        // fill into column 0
+        assert!(c.access(0x2000, false, ColumnMask::single(0)).is_miss());
+        // later accesses mapped to a different column still hit the old location
+        assert!(c.access(0x2000, false, ColumnMask::single(3)).is_hit());
+        assert_eq!(c.probe(0x2000), Some(0));
+    }
+
+    #[test]
+    fn remapped_data_moves_only_after_eviction() {
+        let mut c = small_cache();
+        c.access(0x3000, false, ColumnMask::single(1));
+        assert_eq!(c.probe(0x3000), Some(1));
+        // evict it by filling column 1 of the same set with a conflicting line
+        c.access(0x3000 + 512, false, ColumnMask::single(1));
+        assert!(!c.contains(0x3000));
+        // on the next access under the new mapping it lands in column 2
+        c.access(0x3000, false, ColumnMask::single(2));
+        assert_eq!(c.probe(0x3000), Some(2));
+    }
+
+    #[test]
+    fn empty_mask_bypasses() {
+        let mut c = small_cache();
+        let out = c.access(0x4000, false, ColumnMask::EMPTY);
+        assert_eq!(out, AccessOutcome::Bypass);
+        assert!(!c.contains(0x4000));
+        assert_eq!(c.stats().bypasses, 1);
+        assert!(out.is_miss());
+        assert_eq!(out.eviction(), None);
+    }
+
+    #[test]
+    fn dirty_evictions_are_written_back() {
+        let mut c = small_cache();
+        let m = ColumnMask::single(0);
+        c.access(0x5000, true, m); // dirty fill
+        let out = c.access(0x5000 + 512, false, m); // evicts the dirty line
+        let ev = out.eviction().expect("eviction expected");
+        assert!(ev.dirty);
+        assert_eq!(ev.line_addr, 0x5000);
+        assert_eq!(ev.column, 0);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty_for_flush() {
+        let mut c = small_cache();
+        let m = ColumnMask::all(4);
+        c.access(0x6000, false, m);
+        c.access(0x6000, true, m);
+        assert_eq!(c.flush(), 1);
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.contains(0x6000));
+    }
+
+    #[test]
+    fn preload_establishes_scratchpad_lines() {
+        let mut c = small_cache();
+        // one column = 512 bytes = 16 lines
+        let fetched = c.preload(0x8000, 512, ColumnMask::single(3));
+        assert_eq!(fetched, 16);
+        assert_eq!(c.occupancy(3).unwrap(), 16);
+        // preloading again costs nothing
+        assert_eq!(c.preload(0x8000, 512, ColumnMask::single(3)), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut c = small_cache();
+        c.access(0x9000, true, ColumnMask::all(4));
+        let before = c.stats().writebacks;
+        assert_eq!(c.invalidate_all(), 1);
+        assert_eq!(c.stats().writebacks, before);
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn occupancy_rejects_bad_column() {
+        let c = small_cache();
+        assert!(matches!(
+            c.occupancy(4),
+            Err(SimError::ColumnOutOfRange { column: 4, columns: 4 })
+        ));
+    }
+
+    #[test]
+    fn valid_line_addrs_reports_cached_lines() {
+        let mut c = small_cache();
+        c.access(0xa000, false, ColumnMask::single(1));
+        let lines = c.valid_line_addrs();
+        assert_eq!(lines.len(), 1);
+        let (_set, col, addr) = lines[0];
+        assert_eq!(col, 1);
+        assert_eq!(addr, 0xa000);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small_cache();
+        c.access(0xb000, false, ColumnMask::all(4));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains(0xb000));
+    }
+}

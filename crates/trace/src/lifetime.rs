@@ -1,0 +1,148 @@
+//! Lifetime intervals over trace positions.
+//!
+//! Section 3.1.1 of the paper defines the life-time of a variable as the period between its
+//! definition (first access in the profile) and its last use, and computes edge weights from
+//! the *intersection* of two variables' lifetimes. An [`Interval`] is a closed range
+//! `[first, last]` of trace positions.
+
+use crate::error::TraceError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed interval `[first, last]` of trace positions (event indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Position of the first access (the variable's definition point).
+    pub first: u64,
+    /// Position of the last access (the variable's last use).
+    pub last: u64,
+}
+
+impl Interval {
+    /// Creates an interval, validating that `first <= last`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidInterval`] if `last < first`.
+    pub fn new(first: u64, last: u64) -> Result<Self, TraceError> {
+        if last < first {
+            return Err(TraceError::InvalidInterval { first, last });
+        }
+        Ok(Interval { first, last })
+    }
+
+    /// Creates a single-point interval `[pos, pos]`.
+    pub fn point(pos: u64) -> Self {
+        Interval {
+            first: pos,
+            last: pos,
+        }
+    }
+
+    /// Length of the interval in trace positions (inclusive of both ends, so never zero).
+    pub fn len(&self) -> u64 {
+        self.last - self.first + 1
+    }
+
+    /// Intervals are never empty; provided for API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `pos` lies inside the interval.
+    pub fn contains(&self, pos: u64) -> bool {
+        pos >= self.first && pos <= self.last
+    }
+
+    /// Returns `true` if the two intervals share at least one position.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+
+    /// Computes the intersection interval, the `delta_{i,j}` of the paper:
+    /// `[MAX(first_i, first_j), MIN(last_i, last_j)]`, or `None` if the lifetimes are
+    /// disjoint.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        Some(Interval {
+            first: self.first.max(other.first),
+            last: self.last.min(other.last),
+        })
+    }
+
+    /// Returns the smallest interval covering both inputs.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            first: self.first.min(other.first),
+            last: self.last.max(other.last),
+        }
+    }
+
+    /// Extends the interval to include `pos`, returning the grown interval.
+    pub fn extended_to(&self, pos: u64) -> Interval {
+        Interval {
+            first: self.first.min(pos),
+            last: self.last.max(pos),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.first, self.last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_order() {
+        assert!(Interval::new(3, 2).is_err());
+        let i = Interval::new(2, 5).unwrap();
+        assert_eq!(i.len(), 4);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn point_interval_has_length_one() {
+        let p = Interval::point(7);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(7));
+        assert!(!p.contains(6));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = Interval::new(0, 10).unwrap();
+        let b = Interval::new(5, 20).unwrap();
+        let c = Interval::new(11, 12).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection(&b), Some(Interval::new(5, 10).unwrap()));
+        assert_eq!(b.intersection(&a), a.intersection(&b));
+        assert_eq!(a.intersection(&c), None);
+        // touching endpoints overlap (closed intervals)
+        let d = Interval::new(10, 15).unwrap();
+        assert_eq!(a.intersection(&d), Some(Interval::point(10)));
+    }
+
+    #[test]
+    fn hull_and_extend() {
+        let a = Interval::new(5, 8).unwrap();
+        let b = Interval::new(1, 3).unwrap();
+        assert_eq!(a.hull(&b), Interval::new(1, 8).unwrap());
+        assert_eq!(a.extended_to(12), Interval::new(5, 12).unwrap());
+        assert_eq!(a.extended_to(2), Interval::new(2, 8).unwrap());
+        assert_eq!(a.extended_to(6), a);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Interval::new(1, 4).unwrap().to_string(), "[1, 4]");
+    }
+}

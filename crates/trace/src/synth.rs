@@ -1,0 +1,212 @@
+//! Synthetic reference-stream generators.
+//!
+//! These generators produce traces with controlled locality characteristics. They are used
+//! by unit tests, property tests and the ablation benchmarks (e.g. to build a "streaming"
+//! data structure that pollutes a cache, or a small hot working set).
+
+use crate::event::{AccessKind, MemAccess, VarId};
+use crate::trace::Trace;
+
+/// Generates a sequential read scan over `[base, base + len)` in steps of `stride` bytes,
+/// repeated `passes` times. Each access reads `access_size` bytes.
+///
+/// A single pass over a region larger than the cache is the classic "streaming" pattern
+/// that evicts everything else; repeated passes over a small region model a hot loop.
+pub fn sequential_scan(
+    base: u64,
+    len: u64,
+    stride: u64,
+    access_size: u32,
+    passes: usize,
+    var: Option<VarId>,
+) -> Trace {
+    assert!(stride > 0, "stride must be positive");
+    let mut t = Trace::new();
+    for _ in 0..passes {
+        let mut off = 0;
+        while off < len {
+            let mut ev = MemAccess::read(base + off, access_size);
+            ev.var = var;
+            t.push(ev);
+            off += stride;
+        }
+    }
+    t
+}
+
+/// Generates a write-after-read update pattern over a region: every `stride` bytes the
+/// location is first read then written, repeated `passes` times.
+pub fn read_modify_write(
+    base: u64,
+    len: u64,
+    stride: u64,
+    access_size: u32,
+    passes: usize,
+    var: Option<VarId>,
+) -> Trace {
+    assert!(stride > 0, "stride must be positive");
+    let mut t = Trace::new();
+    for _ in 0..passes {
+        let mut off = 0;
+        while off < len {
+            let mut r = MemAccess::read(base + off, access_size);
+            r.var = var;
+            t.push(r);
+            let mut w = MemAccess::write(base + off, access_size);
+            w.var = var;
+            t.push(w);
+            off += stride;
+        }
+    }
+    t
+}
+
+/// Generates `count` accesses uniformly distributed over `[base, base + len)`, using a
+/// deterministic linear-congruential sequence so results are reproducible without a
+/// random-number dependency in this crate.
+pub fn pseudo_random(
+    base: u64,
+    len: u64,
+    access_size: u32,
+    count: usize,
+    seed: u64,
+    var: Option<VarId>,
+) -> Trace {
+    assert!(len > 0, "region length must be positive");
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut t = Trace::with_capacity(count);
+    for i in 0..count {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let off = (state >> 16) % len;
+        let aligned = off - (off % u64::from(access_size.max(1)));
+        let kind = if i % 4 == 3 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let mut ev = MemAccess {
+            addr: base + aligned,
+            size: access_size,
+            kind,
+            var: None,
+        };
+        ev.var = var;
+        t.push(ev);
+    }
+    t
+}
+
+/// Interleaves several traces round-robin, `burst` events at a time, until all inputs are
+/// exhausted. Models concurrent streams issued by one task (e.g. two input streams and an
+/// output stream of a filter).
+pub fn interleave(traces: &[Trace], burst: usize) -> Trace {
+    assert!(burst > 0, "burst must be positive");
+    let mut cursors = vec![0usize; traces.len()];
+    let mut out = Trace::new();
+    loop {
+        let mut progressed = false;
+        for (t, cur) in traces.iter().zip(cursors.iter_mut()) {
+            let end = (*cur + burst).min(t.len());
+            for i in *cur..end {
+                out.push(*t.get(i).expect("index in range"));
+            }
+            if end > *cur {
+                progressed = true;
+            }
+            *cur = end;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    out
+}
+
+/// A pointer-chase style pattern: `count` dependent accesses over a region, where each next
+/// address is a fixed permutation step of the previous one. Produces poor spatial locality
+/// and (for regions larger than the cache) poor temporal locality.
+pub fn pointer_chase(base: u64, len: u64, access_size: u32, count: usize, var: Option<VarId>) -> Trace {
+    assert!(len >= u64::from(access_size.max(1)));
+    let slots = (len / u64::from(access_size.max(1))).max(1);
+    // An odd additive step of at least half the region visits every slot before repeating
+    // (when slots is a power of two) while keeping consecutive accesses far apart.
+    let step = (slots / 2 + 1) | 1;
+    let mut slot: u64 = 0;
+    let mut t = Trace::with_capacity(count);
+    for _ in 0..count {
+        let mut ev = MemAccess::read(base + slot * u64::from(access_size.max(1)), access_size);
+        ev.var = var;
+        t.push(ev);
+        slot = (slot + step) % slots;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_covers_region_in_order() {
+        let t = sequential_scan(0x1000, 64, 16, 4, 2, Some(VarId(1)));
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.get(0).unwrap().addr, 0x1000);
+        assert_eq!(t.get(3).unwrap().addr, 0x1030);
+        assert_eq!(t.get(4).unwrap().addr, 0x1000); // second pass restarts
+        assert!(t.iter().all(|e| e.var == Some(VarId(1))));
+        assert!(t.iter().all(|e| !e.is_write()));
+    }
+
+    #[test]
+    fn read_modify_write_alternates_kinds() {
+        let t = read_modify_write(0, 32, 8, 8, 1, None);
+        assert_eq!(t.len(), 8);
+        assert!(!t.get(0).unwrap().is_write());
+        assert!(t.get(1).unwrap().is_write());
+        assert_eq!(t.get(0).unwrap().addr, t.get(1).unwrap().addr);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_in_bounds() {
+        let a = pseudo_random(0x4000, 1024, 4, 100, 42, None);
+        let b = pseudo_random(0x4000, 1024, 4, 100, 42, None);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| e.addr >= 0x4000 && e.addr < 0x4000 + 1024));
+        let c = pseudo_random(0x4000, 1024, 4, 100, 43, None);
+        assert_ne!(a, c);
+        assert!(a.write_count() > 0);
+    }
+
+    #[test]
+    fn interleave_round_robins_bursts() {
+        let t1 = sequential_scan(0x1000, 32, 8, 4, 1, Some(VarId(0)));
+        let t2 = sequential_scan(0x2000, 16, 8, 4, 1, Some(VarId(1)));
+        let merged = interleave(&[t1.clone(), t2.clone()], 2);
+        assert_eq!(merged.len(), t1.len() + t2.len());
+        // first burst from t1, then first burst from t2
+        assert_eq!(merged.get(0).unwrap().var, Some(VarId(0)));
+        assert_eq!(merged.get(2).unwrap().var, Some(VarId(1)));
+    }
+
+    #[test]
+    fn pointer_chase_stays_in_region_and_jumps() {
+        let t = pointer_chase(0x8000, 256, 8, 50, None);
+        assert_eq!(t.len(), 50);
+        assert!(t.iter().all(|e| e.addr >= 0x8000 && e.addr < 0x8000 + 256));
+        // consecutive accesses are rarely adjacent
+        let adjacent = t
+            .as_slice()
+            .windows(2)
+            .filter(|w| w[1].addr == w[0].addr + 8)
+            .count();
+        assert!(adjacent < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_is_rejected() {
+        let _ = sequential_scan(0, 64, 0, 4, 1, None);
+    }
+}

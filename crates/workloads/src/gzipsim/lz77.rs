@@ -1,0 +1,243 @@
+//! Uninstrumented LZ77 compressor/decompressor used as the functional reference.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum match length worth emitting (as in deflate).
+pub const MIN_MATCH: usize = 3;
+
+/// Configuration of the gzip-like job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GzipConfig {
+    /// Number of input bytes to compress.
+    pub input_len: usize,
+    /// Sliding-window length in bytes (power of two).
+    pub window_len: usize,
+    /// Number of bits of the hash (table has `1 << hash_bits` entries).
+    pub hash_bits: u32,
+    /// Maximum number of chain links followed per position.
+    pub max_chain: usize,
+    /// Maximum match length.
+    pub max_match: usize,
+    /// Seed of the generated input data.
+    pub seed: u64,
+}
+
+impl Default for GzipConfig {
+    /// A job sized for the Figure 5 experiment: one job's hot working set (hash head
+    /// table, chain table and the recent input window, roughly 10 KiB) fits in a 16 KiB
+    /// cache on its own, but three such jobs together do not — so the critical job's hit
+    /// rate depends on how often it is interrupted. Everything fits easily in 128 KiB.
+    fn default() -> Self {
+        GzipConfig {
+            input_len: 24 * 1024,
+            window_len: 1024,
+            hash_bits: 10,
+            max_chain: 16,
+            max_match: 64,
+            seed: 1,
+        }
+    }
+}
+
+impl GzipConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn small() -> Self {
+        GzipConfig {
+            input_len: 1500,
+            window_len: 512,
+            hash_bits: 8,
+            max_chain: 8,
+            max_match: 32,
+            seed: 11,
+        }
+    }
+
+    /// Number of entries in the hash-head table.
+    pub fn hash_size(&self) -> usize {
+        1usize << self.hash_bits
+    }
+
+    /// Returns a copy with a different input seed (for independent jobs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference of `len` bytes starting `dist` bytes before the current position.
+    Match {
+        /// Backwards distance in bytes (at least 1).
+        dist: usize,
+        /// Match length in bytes (at least [`MIN_MATCH`]).
+        len: usize,
+    },
+}
+
+/// 3-byte hash with `bits` output bits (same shape as deflate's insert hash).
+#[inline]
+pub fn hash3(b0: u8, b1: u8, b2: u8, bits: u32) -> usize {
+    let h = (u32::from(b0) << 10) ^ (u32::from(b1) << 5) ^ u32::from(b2);
+    (h.wrapping_mul(2654435761) >> (32 - bits)) as usize
+}
+
+/// Compresses `input` with hash-chain LZ77 and returns the token stream.
+pub fn compress(input: &[u8], config: &GzipConfig) -> Vec<Token> {
+    let n = input.len();
+    let hash_size = config.hash_size();
+    let mut head = vec![0u32; hash_size];
+    let mut prev = vec![0u32; config.window_len];
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < n {
+        if pos + MIN_MATCH > n {
+            out.push(Token::Literal(input[pos]));
+            pos += 1;
+            continue;
+        }
+        let h = hash3(input[pos], input[pos + 1], input[pos + 2], config.hash_bits);
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h] as usize;
+        let mut budget = config.max_chain;
+        while candidate > 0 && budget > 0 {
+            let cand_pos = candidate - 1;
+            if cand_pos >= pos || pos - cand_pos > config.window_len {
+                break;
+            }
+            let mut len = 0usize;
+            while pos + len < n && len < config.max_match && input[cand_pos + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - cand_pos;
+            }
+            candidate = prev[cand_pos % config.window_len] as usize;
+            budget -= 1;
+        }
+        prev[pos % config.window_len] = head[h];
+        head[h] = (pos + 1) as u32;
+        if best_len >= MIN_MATCH {
+            out.push(Token::Match {
+                dist: best_dist,
+                len: best_len,
+            });
+            pos += best_len;
+        } else {
+            out.push(Token::Literal(input[pos]));
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a token stream back into bytes.
+pub fn decompress(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { dist, len } => {
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compressed size in bytes under a deflate-like cost model: a literal costs one byte and
+/// a match costs three (length plus a two-byte distance).
+pub fn encoded_size(tokens: &[Token]) -> usize {
+    tokens
+        .iter()
+        .map(|t| match t {
+            Token::Literal(_) => 1,
+            Token::Match { .. } => 3,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gzipsim::generate_input;
+
+    #[test]
+    fn roundtrip_on_dictionary_text() {
+        let input = generate_input(5000, 3);
+        let tokens = compress(&input, &GzipConfig::small());
+        let restored = decompress(&tokens);
+        assert_eq!(restored, input);
+    }
+
+    #[test]
+    fn roundtrip_on_incompressible_data() {
+        // pseudo-random bytes: few matches, must still round-trip
+        let input: Vec<u8> = (0..2000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let tokens = compress(&input, &GzipConfig::small());
+        assert_eq!(decompress(&tokens), input);
+    }
+
+    #[test]
+    fn roundtrip_on_highly_repetitive_data() {
+        let input = vec![b'a'; 4096];
+        let cfg = GzipConfig::small();
+        let tokens = compress(&input, &cfg);
+        assert_eq!(decompress(&tokens), input);
+        // long runs compress extremely well
+        assert!(encoded_size(&tokens) < input.len() / 4);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cfg = GzipConfig::small();
+        assert!(compress(&[], &cfg).is_empty());
+        assert_eq!(decompress(&compress(b"ab", &cfg)), b"ab");
+        assert_eq!(decompress(&compress(b"a", &cfg)), b"a");
+    }
+
+    #[test]
+    fn compression_ratio_beats_identity_on_text() {
+        let input = generate_input(20_000, 9);
+        let tokens = compress(&input, &GzipConfig::default());
+        let ratio = encoded_size(&tokens) as f64 / input.len() as f64;
+        assert!(ratio < 0.8, "expected some compression, got ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn matches_never_reach_before_start() {
+        let input = generate_input(3000, 5);
+        let tokens = compress(&input, &GzipConfig::small());
+        let mut produced = 0usize;
+        for t in &tokens {
+            match *t {
+                Token::Literal(_) => produced += 1,
+                Token::Match { dist, len } => {
+                    assert!(dist <= produced, "match reaches before the output start");
+                    assert!(len >= MIN_MATCH);
+                    produced += len;
+                }
+            }
+        }
+        assert_eq!(produced, input.len());
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        let bits = 8;
+        for b in 0..=255u8 {
+            let h = hash3(b, b.wrapping_add(1), b.wrapping_add(2), bits);
+            assert!(h < 1 << bits);
+        }
+        assert_eq!(hash3(1, 2, 3, 11), hash3(1, 2, 3, 11));
+    }
+}

@@ -1,0 +1,210 @@
+//! A gzip-like compression job (LZ77 with a hash-chain match finder).
+//!
+//! Figure 5 of the paper runs three `gzip` jobs round-robin on one processor and measures
+//! how job A's CPI varies with the scheduling quantum. What matters for that experiment is
+//! the memory behaviour of a real compressor: a streaming input, a streaming output, and a
+//! hash table + chain table that are revisited constantly and suffer when another job's
+//! quantum evicts them. This module implements exactly that structure — a deflate-style
+//! LZ77 compressor with hash-chain match finding — in both an uninstrumented form (for
+//! correctness tests and round-trips) and an instrumented form that records its reference
+//! stream.
+
+pub mod lz77;
+
+pub use lz77::{compress, decompress, GzipConfig, Token};
+
+use crate::instrument::{Tracked, WorkloadRun};
+use ccache_trace::TraceRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates compressible pseudo-text: words drawn from a per-seed dictionary with some
+/// random bytes mixed in, similar in spirit to the text inputs of the SPEC gzip benchmark.
+///
+/// The dictionary is deliberately large (96 distinct pseudo-words) so that the
+/// compressor's hash table sees a wide spread of trigrams — a small dictionary would leave
+/// most of the hash table untouched and hide the cache behaviour the Figure 5 experiment
+/// depends on.
+pub fn generate_input(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dictionary: Vec<Vec<u8>> = (0..96)
+        .map(|_| {
+            let word_len = rng.random_range(3..=9);
+            let mut word: Vec<u8> = (0..word_len)
+                .map(|_| rng.random_range(b'a'..=b'z'))
+                .collect();
+            word.push(b' ');
+            word
+        })
+        .collect();
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        if rng.random_bool(0.92) {
+            let w = &dictionary[rng.random_range(0..dictionary.len())];
+            out.extend_from_slice(w);
+        } else {
+            out.push(rng.random_range(0u8..=255));
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Runs the instrumented compressor inside an existing recorder, prefixing variable names
+/// with `prefix` so several jobs can share one symbol table. Returns a checksum of the
+/// emitted tokens.
+pub fn record_gzip(rec: &mut TraceRecorder, config: &GzipConfig, prefix: &str) -> u64 {
+    let input_data = generate_input(config.input_len, config.seed);
+    let hash_size = config.hash_size();
+
+    let input = Tracked::from_slice(rec, &format!("{prefix}input"), &input_data);
+    // head[h] = most recent position with hash h (+1; 0 = empty)
+    let mut head: Tracked<u32> = Tracked::new(rec, &format!("{prefix}hash_head"), hash_size);
+    // prev[pos % window] = previous position in the chain (+1; 0 = end)
+    let mut prev: Tracked<u32> = Tracked::new(rec, &format!("{prefix}prev_chain"), config.window_len);
+    let mut output: Tracked<u8> = Tracked::new(rec, &format!("{prefix}output"), config.input_len + 16);
+
+    let mut out_pos = 0usize;
+    let mut emit = |output: &mut Tracked<u8>, rec: &mut TraceRecorder, byte: u8, checksum: &mut u64| {
+        if out_pos < output.len() {
+            output.set(rec, out_pos, byte);
+        }
+        out_pos += 1;
+        *checksum = checksum.wrapping_mul(16777619).wrapping_add(u64::from(byte));
+    };
+
+    let mut checksum = 0u64;
+    let n = input_data.len();
+    let mut pos = 0usize;
+    while pos < n {
+        if pos + lz77::MIN_MATCH > n {
+            let lit = input.get(rec, pos);
+            emit(&mut output, rec, 0, &mut checksum);
+            emit(&mut output, rec, lit, &mut checksum);
+            pos += 1;
+            continue;
+        }
+        // hash the next three bytes
+        let b0 = input.get(rec, pos);
+        let b1 = input.get(rec, pos + 1);
+        let b2 = input.get(rec, pos + 2);
+        let h = lz77::hash3(b0, b1, b2, config.hash_bits);
+
+        // walk the hash chain looking for the longest match inside the window
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head.get(rec, h) as usize;
+        let mut chain_budget = config.max_chain;
+        while candidate > 0 && chain_budget > 0 {
+            let cand_pos = candidate - 1;
+            if cand_pos >= pos || pos - cand_pos > config.window_len {
+                break;
+            }
+            // compare bytes
+            let mut len = 0usize;
+            while pos + len < n
+                && len < config.max_match
+                && input.get(rec, cand_pos + len) == input.get(rec, pos + len)
+            {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - cand_pos;
+            }
+            candidate = prev.get(rec, cand_pos % config.window_len) as usize;
+            chain_budget -= 1;
+        }
+
+        // insert the current position into the hash chain
+        let old_head = head.get(rec, h);
+        prev.set(rec, pos % config.window_len, old_head);
+        head.set(rec, h, (pos + 1) as u32);
+
+        if best_len >= lz77::MIN_MATCH {
+            emit(&mut output, rec, 1, &mut checksum);
+            emit(&mut output, rec, (best_dist >> 8) as u8, &mut checksum);
+            emit(&mut output, rec, (best_dist & 0xff) as u8, &mut checksum);
+            emit(&mut output, rec, best_len as u8, &mut checksum);
+            pos += best_len;
+        } else {
+            let lit = input.get(rec, pos);
+            emit(&mut output, rec, 0, &mut checksum);
+            emit(&mut output, rec, lit, &mut checksum);
+            pos += 1;
+        }
+    }
+    checksum
+}
+
+/// Runs one instrumented gzip job standalone.
+pub fn run_gzip(config: &GzipConfig) -> WorkloadRun {
+    let mut rec = TraceRecorder::new();
+    let checksum = record_gzip(&mut rec, config, "gz_");
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: "gzip".to_owned(),
+        trace,
+        symbols,
+        checksum,
+    }
+}
+
+/// Runs an instrumented gzip job whose variables live in a private address-space region
+/// starting at `base` (so several jobs do not share any cache lines), with per-job seed.
+pub fn run_gzip_job(config: &GzipConfig, base: u64, job_name: &str) -> WorkloadRun {
+    let mut rec = TraceRecorder::with_base(base);
+    let checksum = record_gzip(&mut rec, config, &format!("{job_name}_"));
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: job_name.to_owned(),
+        trace,
+        symbols,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_input_is_deterministic_and_compressible() {
+        let a = generate_input(2000, 42);
+        let b = generate_input(2000, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2000);
+        let tokens = compress(&a, &GzipConfig::small());
+        let matches = tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
+        assert!(matches > 10, "dictionary text should produce matches, got {matches}");
+        assert_ne!(generate_input(2000, 43), a);
+    }
+
+    #[test]
+    fn instrumented_run_touches_hash_structures() {
+        let cfg = GzipConfig::small();
+        let run = run_gzip(&cfg);
+        assert!(run.references() > cfg.input_len);
+        let head = run.symbols.by_name("gz_hash_head").unwrap();
+        let prev = run.symbols.by_name("gz_prev_chain").unwrap();
+        assert!(run.trace.count_for(head.id) > 0);
+        assert!(run.trace.count_for(prev.id) > 0);
+        assert_ne!(run.checksum, 0);
+    }
+
+    #[test]
+    fn instrumented_run_is_deterministic() {
+        let cfg = GzipConfig::small();
+        assert_eq!(run_gzip(&cfg).checksum, run_gzip(&cfg).checksum);
+    }
+
+    #[test]
+    fn jobs_with_different_bases_do_not_overlap() {
+        let cfg = GzipConfig::small();
+        let a = run_gzip_job(&cfg, 0x100_0000, "jobA");
+        let b = run_gzip_job(&cfg, 0x200_0000, "jobB");
+        let a_max = a.trace.stats().max_addr;
+        let b_min = b.trace.stats().min_addr;
+        assert!(a_max < b_min, "job address spaces must be disjoint");
+    }
+}

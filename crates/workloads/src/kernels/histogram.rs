@@ -1,0 +1,121 @@
+//! Histogram kernel: a streaming input updating a small, hot bucket table.
+
+use crate::instrument::{Tracked, WorkloadRun};
+use ccache_trace::TraceRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the histogram workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramConfig {
+    /// Number of input samples.
+    pub samples: usize,
+    /// Number of histogram buckets.
+    pub buckets: usize,
+    /// Seed for the input distribution.
+    pub seed: u64,
+}
+
+impl Default for HistogramConfig {
+    fn default() -> Self {
+        HistogramConfig {
+            samples: 8192,
+            buckets: 64,
+            seed: 0x4157,
+        }
+    }
+}
+
+impl HistogramConfig {
+    /// A small configuration for fast tests.
+    pub fn small() -> Self {
+        HistogramConfig {
+            samples: 200,
+            buckets: 16,
+            seed: 2,
+        }
+    }
+}
+
+fn generate(config: &HistogramConfig) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.samples)
+        .map(|_| rng.random_range(0..config.buckets as u32 * 4))
+        .collect()
+}
+
+/// Reference (uninstrumented) histogram.
+pub fn histogram_reference(input: &[u32], buckets: usize) -> Vec<u64> {
+    let mut h = vec![0u64; buckets];
+    for &x in input {
+        h[x as usize % buckets] += 1;
+    }
+    h
+}
+
+/// Runs the instrumented histogram inside an existing recorder; returns a checksum.
+pub fn record_histogram(rec: &mut TraceRecorder, config: &HistogramConfig) -> u64 {
+    let data = generate(config);
+    let input = Tracked::from_slice(rec, "hist_input", &data);
+    let mut table: Tracked<u64> = Tracked::new(rec, "hist_table", config.buckets);
+    for i in 0..config.samples {
+        let x = input.get(rec, i) as usize % config.buckets;
+        let cur = table.get(rec, x);
+        table.set(rec, x, cur + 1);
+    }
+    let mut checksum = 0u64;
+    for b in 0..config.buckets {
+        checksum = checksum.wrapping_mul(257).wrapping_add(table.peek(b));
+    }
+    checksum
+}
+
+/// Runs the instrumented histogram standalone.
+pub fn run_histogram(config: &HistogramConfig) -> WorkloadRun {
+    let mut rec = TraceRecorder::new();
+    let checksum = record_histogram(&mut rec, config);
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: "histogram".to_owned(),
+        trace,
+        symbols,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts_every_sample() {
+        let h = histogram_reference(&[0, 1, 1, 5, 17], 16);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+        // 17 % 16 = 1, so bucket 1 collects 1, 1 and 17
+        assert_eq!(h[1], 3);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[5], 1);
+    }
+
+    #[test]
+    fn instrumented_matches_reference() {
+        let cfg = HistogramConfig::small();
+        let run = run_histogram(&cfg);
+        let h = histogram_reference(&generate(&cfg), cfg.buckets);
+        let mut checksum = 0u64;
+        for v in h {
+            checksum = checksum.wrapping_mul(257).wrapping_add(v);
+        }
+        assert_eq!(run.checksum, checksum);
+    }
+
+    #[test]
+    fn table_is_reused_heavily() {
+        let cfg = HistogramConfig::default();
+        let run = run_histogram(&cfg);
+        let table = run.symbols.by_name("hist_table").unwrap();
+        // 2 accesses (read + write) per sample
+        assert_eq!(run.trace.count_for(table.id), cfg.samples * 2);
+        assert!(table.size < 2048);
+    }
+}

@@ -1,0 +1,16 @@
+//! Additional embedded kernels used for ablation studies, examples and tests.
+//!
+//! These are not part of the paper's evaluation but exercise the same machinery with
+//! different locality structures: a FIR filter (small hot coefficient array + streaming
+//! signal), a blocked matrix multiply (three matrices with heavy reuse), a histogram
+//! (streaming input + small hot table) and a STREAM-style triad (pure streaming).
+
+pub mod fir;
+pub mod histogram;
+pub mod matmul;
+pub mod triad;
+
+pub use fir::{fir_reference, run_fir, FirConfig};
+pub use histogram::{histogram_reference, run_histogram, HistogramConfig};
+pub use matmul::{matmul_reference, run_matmul, MatmulConfig};
+pub use triad::{run_triad, triad_reference, TriadConfig};

@@ -1,0 +1,172 @@
+//! 8×8 coefficient blocks and quantisation tables shared by the MPEG kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of coefficients in one 8×8 block.
+pub const BLOCK_COEFFS: usize = 64;
+
+/// One 8×8 block of 16-bit coefficients or samples.
+pub type Block = [i16; BLOCK_COEFFS];
+
+/// The default MPEG-2 intra quantiser matrix (ISO/IEC 13818-2, Table 7-2 ordering by rows).
+pub const DEFAULT_INTRA_QUANT: [u16; BLOCK_COEFFS] = [
+    8, 16, 19, 22, 26, 27, 29, 34, //
+    16, 16, 22, 24, 27, 29, 34, 37, //
+    19, 22, 26, 27, 29, 34, 34, 38, //
+    22, 22, 26, 27, 29, 34, 37, 40, //
+    22, 26, 27, 29, 32, 35, 40, 48, //
+    26, 27, 29, 32, 35, 40, 48, 58, //
+    26, 27, 29, 34, 38, 46, 56, 69, //
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Configuration of the MPEG workloads.
+///
+/// Each routine processes its own number of blocks, mirroring the working-set structure the
+/// paper reports: the `dequant` and `plus` buffers fit within the 2 KiB on-chip memory
+/// (all their heavily accessed data can live in the scratchpad), while the `idct`
+/// macroblock buffer exceeds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpegConfig {
+    /// Blocks inverse-quantised in place by `dequant` (buffer = `dequant_blocks` × 128 B).
+    pub dequant_blocks: usize,
+    /// Block pairs added by `plus` (two buffers of `plus_blocks` × 128 B each).
+    pub plus_blocks: usize,
+    /// Blocks in the macroblock buffer transformed by `idct`
+    /// (buffer = `idct_blocks` × 128 B).
+    pub idct_blocks: usize,
+    /// Seed for the pseudo-random coefficient data.
+    pub seed: u64,
+    /// Quantiser scale code applied by `dequant` (1..=31).
+    pub quant_scale: u16,
+}
+
+impl Default for MpegConfig {
+    /// Default working sets for the 2 KiB / 4-column memory of Figure 4:
+    /// dequant 12 blocks (1536 B buffer + 128 B table ≤ 2 KiB), plus 7 block pairs
+    /// (2 × 896 B ≤ 2 KiB), idct 48 blocks (6 KiB macroblock buffer > 2 KiB).
+    fn default() -> Self {
+        MpegConfig {
+            dequant_blocks: 12,
+            plus_blocks: 7,
+            idct_blocks: 48,
+            seed: 0x5eed_c0de,
+            quant_scale: 8,
+        }
+    }
+}
+
+impl MpegConfig {
+    /// A small configuration for fast unit tests (working-set shape is preserved: dequant
+    /// and plus fit 2 KiB, idct does not).
+    pub fn small() -> Self {
+        MpegConfig {
+            dequant_blocks: 4,
+            plus_blocks: 3,
+            idct_blocks: 20,
+            seed: 7,
+            quant_scale: 4,
+        }
+    }
+
+    /// Returns a copy with a different data seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates `blocks` blocks of plausible quantised DCT coefficients: a large DC term,
+/// rapidly decaying AC terms and plenty of zeros (as a zig-zag scanned MPEG block has).
+pub fn generate_coefficients(blocks: usize, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(blocks * BLOCK_COEFFS);
+    for _ in 0..blocks {
+        for i in 0..BLOCK_COEFFS {
+            let (row, col) = (i / 8, i % 8);
+            let frequency = (row + col) as i32;
+            let value: i16 = if i == 0 {
+                rng.random_range(-256..=256)
+            } else if rng.random_bool((0.75f64 - 0.08 * frequency as f64).max(0.05)) {
+                let magnitude = (64 >> frequency.min(6)).max(1);
+                rng.random_range(-magnitude..=magnitude) as i16
+            } else {
+                0
+            };
+            out.push(value);
+        }
+    }
+    out
+}
+
+/// Generates `blocks` blocks of 8-bit prediction samples widened to `i16` (for `plus`).
+pub fn generate_samples(blocks: usize, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..blocks * BLOCK_COEFFS)
+        .map(|_| rng.random_range(0..=255) as i16)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_working_set_shape() {
+        let cfg = MpegConfig::default();
+        let dequant_bytes = cfg.dequant_blocks * BLOCK_COEFFS * 2 + 128;
+        let plus_bytes = 2 * cfg.plus_blocks * BLOCK_COEFFS * 2;
+        let idct_bytes = cfg.idct_blocks * BLOCK_COEFFS * 2;
+        assert!(dequant_bytes <= 2048, "dequant working set must fit 2 KiB");
+        assert!(plus_bytes <= 2048, "plus working set must fit 2 KiB");
+        assert!(idct_bytes > 2048, "idct macroblock buffer must exceed 2 KiB");
+        assert!(cfg.quant_scale >= 1 && cfg.quant_scale <= 31);
+    }
+
+    #[test]
+    fn small_config_preserves_the_shape() {
+        let cfg = MpegConfig::small();
+        assert!(cfg.dequant_blocks * 128 + 128 <= 2048);
+        assert!(2 * cfg.plus_blocks * 128 <= 2048);
+        assert!(cfg.idct_blocks * 128 > 2048);
+    }
+
+    #[test]
+    fn coefficients_are_deterministic_and_sparse() {
+        let a = generate_coefficients(16, 42);
+        let b = generate_coefficients(16, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16 * BLOCK_COEFFS);
+        let zeros = a.iter().filter(|&&c| c == 0).count();
+        assert!(
+            zeros > a.len() / 4,
+            "expected a sparse coefficient stream, got {zeros} zeros out of {}",
+            a.len()
+        );
+        assert_ne!(generate_coefficients(16, 1), a);
+    }
+
+    #[test]
+    fn samples_are_8bit_range() {
+        let s = generate_samples(3, 5);
+        assert_eq!(s.len(), 3 * BLOCK_COEFFS);
+        assert!(s.iter().all(|&v| (0..=255).contains(&v)));
+        assert_ne!(generate_samples(3, 5), generate_samples(3, 6));
+    }
+
+    #[test]
+    fn quant_matrix_has_expected_shape() {
+        assert_eq!(DEFAULT_INTRA_QUANT.len(), 64);
+        assert_eq!(DEFAULT_INTRA_QUANT[0], 8);
+        assert_eq!(DEFAULT_INTRA_QUANT[63], 83);
+        assert!(DEFAULT_INTRA_QUANT[63] > DEFAULT_INTRA_QUANT[0]);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let cfg = MpegConfig::default().with_seed(99);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.dequant_blocks, MpegConfig::default().dequant_blocks);
+    }
+}

@@ -1,0 +1,165 @@
+//! The `dequant` routine: inverse quantisation of 8×8 coefficient blocks.
+//!
+//! The kernel inverse-quantises a resident buffer of coefficient blocks *in place*: each
+//! coefficient is read, multiplied by the intra quantiser matrix entry and the quantiser
+//! scale (MPEG-2 style, with saturation and odd-ification mismatch control), and written
+//! back. Its heavily accessed data — the coefficient buffer and the 64-entry quantiser
+//! matrix — fits within the paper's 2 KB on-chip memory, which is why the all-scratchpad
+//! organisation is optimal for it (Figure 4(a)): once the data is resident there are no
+//! misses at all, whereas a cache pays a cold miss per line.
+
+use super::blocks::{generate_coefficients, MpegConfig, BLOCK_COEFFS, DEFAULT_INTRA_QUANT};
+use crate::instrument::{Tracked, WorkloadRun};
+use ccache_trace::TraceRecorder;
+
+/// Reference (uninstrumented) inverse quantisation of one block.
+///
+/// `quant_scale` is the MPEG quantiser scale code. Values saturate to `[-2048, 2047]` and
+/// non-zero results are forced odd (mismatch control).
+pub fn dequant_block(
+    coeffs: &[i16; BLOCK_COEFFS],
+    quant: &[u16; BLOCK_COEFFS],
+    quant_scale: u16,
+) -> [i16; BLOCK_COEFFS] {
+    let mut out = [0i16; BLOCK_COEFFS];
+    for i in 0..BLOCK_COEFFS {
+        out[i] = dequant_coeff(coeffs[i], quant[i], quant_scale, i == 0);
+    }
+    out
+}
+
+/// Inverse-quantises one coefficient.
+fn dequant_coeff(coeff: i16, quant: u16, quant_scale: u16, is_dc: bool) -> i16 {
+    if coeff == 0 {
+        return 0;
+    }
+    let value = if is_dc {
+        // DC coefficients use a fixed scale of 8 in intra blocks.
+        i32::from(coeff) * 8
+    } else {
+        (i32::from(coeff) * i32::from(quant) * i32::from(quant_scale) * 2) / 16
+    };
+    let mut value = value.clamp(-2048, 2047);
+    if !is_dc && value != 0 && value % 2 == 0 {
+        // mismatch control: force the value odd, toward zero
+        value -= value.signum();
+    }
+    value as i16
+}
+
+/// Runs the instrumented `dequant` routine inside an existing recorder and returns a
+/// checksum of the reconstructed coefficients.
+pub fn record_dequant(rec: &mut TraceRecorder, config: &MpegConfig) -> u64 {
+    let input = generate_coefficients(config.dequant_blocks, config.seed);
+    let mut coeff_blocks = Tracked::from_slice(rec, "dq_coeff_blocks", &input);
+    let quant_table = Tracked::from_slice(rec, "dq_quant_tbl", &DEFAULT_INTRA_QUANT);
+
+    let mut checksum = 0u64;
+    for b in 0..config.dequant_blocks {
+        let base = b * BLOCK_COEFFS;
+        for i in 0..BLOCK_COEFFS {
+            let c = coeff_blocks.get(rec, base + i);
+            let q = quant_table.get(rec, i);
+            let r = dequant_coeff(c, q, config.quant_scale, i == 0);
+            coeff_blocks.set(rec, base + i, r);
+            checksum = checksum
+                .wrapping_mul(1099511628211)
+                .wrapping_add(r as u16 as u64);
+        }
+    }
+    checksum
+}
+
+/// Runs the instrumented `dequant` routine standalone.
+pub fn run_dequant(config: &MpegConfig) -> WorkloadRun {
+    let mut rec = TraceRecorder::new();
+    let checksum = record_dequant(&mut rec, config);
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: "dequant".to_owned(),
+        trace,
+        symbols,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_coefficients_stay_zero() {
+        let coeffs = [0i16; BLOCK_COEFFS];
+        let out = dequant_block(&coeffs, &DEFAULT_INTRA_QUANT, 8);
+        assert_eq!(out, [0i16; BLOCK_COEFFS]);
+    }
+
+    #[test]
+    fn dc_uses_fixed_scale_and_ac_uses_matrix() {
+        let mut coeffs = [0i16; BLOCK_COEFFS];
+        coeffs[0] = 10; // DC
+        coeffs[1] = 4; // AC with quant 16
+        let out = dequant_block(&coeffs, &DEFAULT_INTRA_QUANT, 8);
+        assert_eq!(out[0], 80);
+        // 4 * 16 * 8 * 2 / 16 = 64, even -> odd-ified to 63
+        assert_eq!(out[1], 63);
+    }
+
+    #[test]
+    fn saturation_clamps_large_values() {
+        let mut coeffs = [0i16; BLOCK_COEFFS];
+        coeffs[5] = 2000;
+        coeffs[6] = -2000;
+        let out = dequant_block(&coeffs, &DEFAULT_INTRA_QUANT, 31);
+        assert_eq!(out[5], 2047);
+        // -2000 saturates to -2048, which mismatch control then forces odd (toward zero)
+        assert_eq!(out[6], -2047);
+    }
+
+    #[test]
+    fn mismatch_control_makes_nonzero_ac_odd() {
+        let mut coeffs = [0i16; BLOCK_COEFFS];
+        for i in 1..BLOCK_COEFFS {
+            coeffs[i] = (i as i16 % 7) - 3;
+        }
+        let out = dequant_block(&coeffs, &DEFAULT_INTRA_QUANT, 8);
+        for i in 1..BLOCK_COEFFS {
+            if out[i] != 0 {
+                assert_eq!(out[i].rem_euclid(2), 1, "coefficient {i} is even: {}", out[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_run_matches_reference() {
+        let cfg = MpegConfig::small();
+        let run = run_dequant(&cfg);
+        // recompute the checksum with the pure reference implementation
+        let input = generate_coefficients(cfg.dequant_blocks, cfg.seed);
+        let mut checksum = 0u64;
+        for b in 0..cfg.dequant_blocks {
+            let mut block = [0i16; BLOCK_COEFFS];
+            block.copy_from_slice(&input[b * BLOCK_COEFFS..(b + 1) * BLOCK_COEFFS]);
+            let out = dequant_block(&block, &DEFAULT_INTRA_QUANT, cfg.quant_scale);
+            for r in out {
+                checksum = checksum
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(r as u16 as u64);
+            }
+        }
+        assert_eq!(run.checksum, checksum);
+    }
+
+    #[test]
+    fn hot_data_fits_in_2kb_and_trace_is_annotated() {
+        let cfg = MpegConfig::default();
+        let run = run_dequant(&cfg);
+        let quant = run.symbols.by_name("dq_quant_tbl").unwrap();
+        let blocks = run.symbols.by_name("dq_coeff_blocks").unwrap();
+        assert!(quant.size + blocks.size <= 2048);
+        assert_eq!(run.references(), run.trace.len());
+        assert!(run.trace.iter().all(|e| e.var.is_some()));
+        // every coefficient incurs a load, a quant-table read and a store
+        assert_eq!(run.trace.len(), cfg.dequant_blocks * BLOCK_COEFFS * 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! MPEG decoder kernels used in the paper's Figure 4 experiments.
+//!
+//! The paper evaluates three routines of an MPEG application — `dequant`, `plus` and
+//! `idct` — following the embedded benchmark used by Panda, Dutt and Nicolau. Each routine
+//! here is a real Rust kernel over instrumented buffers, so running it yields both a
+//! functional result (checked by tests against an uninstrumented reference) and the
+//! variable-annotated reference stream consumed by the layout algorithm and simulator.
+//!
+//! The working-set structure mirrors the paper's observations:
+//!
+//! * [`dequant`] and [`plus`] keep their heavily-accessed data (coefficient block, quant
+//!   table, working blocks) well under 2 KB, so an all-scratchpad organisation is ideal;
+//! * [`idct`] re-walks a multi-block macroblock buffer larger than 2 KB (row pass then
+//!   column pass), so it cannot fit in the scratchpad and prefers the cache.
+
+pub mod blocks;
+pub mod dequant;
+pub mod idct;
+pub mod plus;
+
+pub use blocks::{Block, MpegConfig, BLOCK_COEFFS, DEFAULT_INTRA_QUANT};
+pub use dequant::{dequant_block, run_dequant};
+pub use idct::{idct_block_reference, run_idct};
+pub use plus::{plus_block, run_plus};
+
+use crate::instrument::WorkloadRun;
+
+/// Runs all three routines in sequence (dequant → idct → plus), concatenating their traces
+/// into one application trace with a shared symbol table. This is the "overall application"
+/// of Figure 4(d).
+pub fn run_combined(config: &MpegConfig) -> WorkloadRun {
+    // The three kernels share a recorder so variables get distinct, non-overlapping
+    // addresses and the combined trace has consistent annotations.
+    let mut rec = ccache_trace::TraceRecorder::new();
+    let c1 = dequant::record_dequant(&mut rec, config);
+    let c2 = idct::record_idct(&mut rec, config);
+    let c3 = plus::record_plus(&mut rec, config);
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: "mpeg-combined".to_owned(),
+        trace,
+        symbols,
+        checksum: c1 ^ c2.rotate_left(21) ^ c3.rotate_left(42),
+    }
+}
+
+/// Returns the three phase traces (dequant, idct, plus) with a shared symbol table, for
+/// dynamic-layout experiments that remap columns between procedures.
+pub fn run_phases(config: &MpegConfig) -> (Vec<(String, ccache_trace::Trace)>, ccache_trace::SymbolTable) {
+    let mut rec = ccache_trace::TraceRecorder::new();
+    let start0 = rec.len();
+    dequant::record_dequant(&mut rec, config);
+    let start1 = rec.len();
+    idct::record_idct(&mut rec, config);
+    let start2 = rec.len();
+    plus::record_plus(&mut rec, config);
+    let end = rec.len();
+    let (trace, symbols) = rec.finish();
+    let phases = vec![
+        ("dequant".to_owned(), trace.slice(start0, start1)),
+        ("idct".to_owned(), trace.slice(start1, start2)),
+        ("plus".to_owned(), trace.slice(start2, end)),
+    ];
+    (phases, symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_run_concatenates_all_three_routines() {
+        let cfg = MpegConfig::small();
+        let combined = run_combined(&cfg);
+        let d = run_dequant(&cfg);
+        let i = run_idct(&cfg);
+        let p = run_plus(&cfg);
+        assert_eq!(
+            combined.trace.len(),
+            d.trace.len() + i.trace.len() + p.trace.len()
+        );
+        assert!(combined.symbols.len() >= d.symbols.len());
+        assert_ne!(combined.checksum, 0);
+    }
+
+    #[test]
+    fn phases_partition_the_combined_trace() {
+        let cfg = MpegConfig::small();
+        let (phases, symbols) = run_phases(&cfg);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].0, "dequant");
+        assert!(phases.iter().all(|(_, t)| !t.is_empty()));
+        assert!(symbols.len() >= 6);
+        let combined = run_combined(&cfg);
+        let total: usize = phases.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total, combined.trace.len());
+    }
+}

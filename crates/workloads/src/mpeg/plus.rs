@@ -1,0 +1,111 @@
+//! The `plus` routine: motion-compensation addition of prediction and residual blocks.
+//!
+//! Each output sample is `clamp(prediction + residual, 0, 255)`, accumulated in place into
+//! the prediction buffer. Like `dequant`, the heavily accessed data (the two block buffers)
+//! fits within 2 KB, so the paper finds the all-scratchpad organisation optimal for it
+//! (Figure 4(b)).
+
+use super::blocks::{generate_coefficients, generate_samples, MpegConfig, BLOCK_COEFFS};
+use crate::instrument::{Tracked, WorkloadRun};
+use ccache_trace::TraceRecorder;
+
+/// Reference (uninstrumented) saturating addition of one prediction/residual block pair.
+pub fn plus_block(pred: &[i16; BLOCK_COEFFS], resid: &[i16; BLOCK_COEFFS]) -> [i16; BLOCK_COEFFS] {
+    let mut out = [0i16; BLOCK_COEFFS];
+    for i in 0..BLOCK_COEFFS {
+        out[i] = (i32::from(pred[i]) + i32::from(resid[i])).clamp(0, 255) as i16;
+    }
+    out
+}
+
+/// Runs the instrumented `plus` routine inside an existing recorder; returns a checksum of
+/// the reconstructed samples.
+pub fn record_plus(rec: &mut TraceRecorder, config: &MpegConfig) -> u64 {
+    let pred_data = generate_samples(config.plus_blocks, config.seed ^ 0x9e37);
+    let resid_data = generate_coefficients(config.plus_blocks, config.seed ^ 0x79b9);
+    let mut pred_blocks = Tracked::from_slice(rec, "pl_pred_blocks", &pred_data);
+    let resid_blocks = Tracked::from_slice(rec, "pl_resid_blocks", &resid_data);
+
+    let mut checksum = 0u64;
+    for b in 0..config.plus_blocks {
+        let base = b * BLOCK_COEFFS;
+        for i in 0..BLOCK_COEFFS {
+            let p = pred_blocks.get(rec, base + i);
+            let r = resid_blocks.get(rec, base + i);
+            let s = (i32::from(p) + i32::from(r)).clamp(0, 255) as i16;
+            pred_blocks.set(rec, base + i, s);
+            checksum = checksum.wrapping_mul(31).wrapping_add(s as u64);
+        }
+    }
+    checksum
+}
+
+/// Runs the instrumented `plus` routine standalone.
+pub fn run_plus(config: &MpegConfig) -> WorkloadRun {
+    let mut rec = TraceRecorder::new();
+    let checksum = record_plus(&mut rec, config);
+    let (trace, symbols) = rec.finish();
+    WorkloadRun {
+        name: "plus".to_owned(),
+        trace,
+        symbols,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_saturates_to_byte_range() {
+        let mut pred = [0i16; BLOCK_COEFFS];
+        let mut resid = [0i16; BLOCK_COEFFS];
+        pred[0] = 250;
+        resid[0] = 20; // overflows 255
+        pred[1] = 5;
+        resid[1] = -20; // underflows 0
+        pred[2] = 100;
+        resid[2] = 27;
+        let out = plus_block(&pred, &resid);
+        assert_eq!(out[0], 255);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[2], 127);
+        assert!(out.iter().all(|&v| (0..=255).contains(&v)));
+    }
+
+    #[test]
+    fn instrumented_run_matches_reference() {
+        let cfg = MpegConfig::small();
+        let run = run_plus(&cfg);
+        let pred = generate_samples(cfg.plus_blocks, cfg.seed ^ 0x9e37);
+        let resid = generate_coefficients(cfg.plus_blocks, cfg.seed ^ 0x79b9);
+        let mut checksum = 0u64;
+        for b in 0..cfg.plus_blocks {
+            let base = b * BLOCK_COEFFS;
+            let mut p = [0i16; BLOCK_COEFFS];
+            let mut r = [0i16; BLOCK_COEFFS];
+            p.copy_from_slice(&pred[base..base + BLOCK_COEFFS]);
+            r.copy_from_slice(&resid[base..base + BLOCK_COEFFS]);
+            for s in plus_block(&p, &r) {
+                checksum = checksum.wrapping_mul(31).wrapping_add(s as u64);
+            }
+        }
+        assert_eq!(run.checksum, checksum);
+    }
+
+    #[test]
+    fn working_set_fits_2kb_and_every_sample_is_processed() {
+        let cfg = MpegConfig::default();
+        let run = run_plus(&cfg);
+        let pred = run.symbols.by_name("pl_pred_blocks").unwrap();
+        let resid = run.symbols.by_name("pl_resid_blocks").unwrap();
+        assert!(pred.size + resid.size <= 2048);
+        // each sample: read pred, read resid, write pred
+        assert_eq!(run.trace.len(), cfg.plus_blocks * BLOCK_COEFFS * 3);
+        assert_eq!(
+            run.trace.count_for(resid.id),
+            cfg.plus_blocks * BLOCK_COEFFS
+        );
+    }
+}

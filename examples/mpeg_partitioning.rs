@@ -1,0 +1,61 @@
+//! MPEG partitioning: the Figure 4 experiment end to end.
+//!
+//! Sweeps the scratchpad/cache split of a 2 KB, 4-column on-chip memory for the three MPEG
+//! routines (`dequant`, `plus`, `idct`) and the combined application, then compares every
+//! static partition against a dynamically remapped column cache.
+//!
+//! Run with: `cargo run --release --example mpeg_partitioning`
+
+use column_caching::core::dynamic::{run_dynamic, Figure4dResult};
+use column_caching::core::report::{figure4d_table, partition_table};
+use column_caching::prelude::*;
+use column_caching::workloads::mpeg::{run_phases, MpegConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mpeg = MpegConfig::default();
+    let config = PartitionConfig::default();
+    println!(
+        "on-chip memory: {} bytes, {} columns, {}-byte lines\n",
+        config.capacity_bytes, config.columns, config.line_size
+    );
+
+    // Figures 4(a)-(c): per-routine sweeps.
+    for run in [run_dequant(&mpeg), run_plus(&mpeg), run_idct(&mpeg)] {
+        let sweep = partition_sweep(&run, &config)?;
+        println!("{}", partition_table(&sweep));
+        println!(
+            "-> best organisation for {}: {} cache columns / {} scratchpad columns\n",
+            sweep.name,
+            sweep.best().cache_columns,
+            sweep.best().scratchpad_columns
+        );
+    }
+
+    // Figure 4(d): the combined application, static partitions vs. the column cache.
+    let combined = run_combined(&mpeg);
+    let static_sweep = partition_sweep(&combined, &config)?;
+    println!("{}", partition_table(&static_sweep));
+
+    let (phases, symbols) = run_phases(&mpeg);
+    let dynamic = run_dynamic(&phases, &symbols, &config)?;
+    let fig4d = Figure4dResult {
+        static_cycles: static_sweep
+            .points
+            .iter()
+            .map(|p| (p.cache_columns, p.cycles))
+            .collect(),
+        column_cache_cycles: dynamic.cycles,
+        column_cache_control_cycles: dynamic.control_cycles,
+    };
+    println!("{}", figure4d_table(&fig4d));
+    for phase in &dynamic.phases {
+        println!(
+            "  phase {:<8}: {:>8} cycles, layout cost W = {}, {} scratchpad-like columns",
+            phase.name,
+            phase.result.total_cycles(),
+            phase.layout_cost,
+            phase.preloaded_columns
+        );
+    }
+    Ok(())
+}

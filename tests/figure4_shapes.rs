@@ -1,0 +1,114 @@
+//! End-to-end integration test of the Figure 4 pipeline: workload generation → scratchpad
+//! selection → placement → data layout → simulation, asserting the qualitative shapes the
+//! paper reports (at a reduced scale so the test stays fast).
+
+use column_caching::core::dynamic::{run_dynamic, Figure4dResult};
+use column_caching::core::partition::{partition_sweep, PartitionConfig};
+use column_caching::workloads::mpeg::{
+    run_combined, run_dequant, run_idct, run_phases, run_plus, MpegConfig,
+};
+
+fn mpeg() -> MpegConfig {
+    MpegConfig::small()
+}
+
+fn config() -> PartitionConfig {
+    PartitionConfig::default()
+}
+
+#[test]
+fn figure4a_dequant_all_scratchpad_is_optimal() {
+    let sweep = partition_sweep(&run_dequant(&mpeg()), &config()).unwrap();
+    assert_eq!(sweep.points.len(), 5);
+    let all_scratchpad = sweep.cycles_at(0).unwrap();
+    let all_cache = sweep.cycles_at(4).unwrap();
+    assert!(all_scratchpad < all_cache);
+    assert_eq!(sweep.best().cache_columns, 0);
+    // with the whole working set resident in the scratchpad there are no misses at all
+    assert_eq!(sweep.points[0].result.misses, 0);
+}
+
+#[test]
+fn figure4b_plus_all_scratchpad_is_optimal() {
+    let sweep = partition_sweep(&run_plus(&mpeg()), &config()).unwrap();
+    let all_scratchpad = sweep.cycles_at(0).unwrap();
+    let all_cache = sweep.cycles_at(4).unwrap();
+    assert!(all_scratchpad < all_cache);
+    assert_eq!(sweep.best().cache_columns, 0);
+}
+
+#[test]
+fn figure4c_idct_prefers_the_cache() {
+    let sweep = partition_sweep(&run_idct(&mpeg()), &config()).unwrap();
+    let all_scratchpad = sweep.cycles_at(0).unwrap();
+    let all_cache = sweep.cycles_at(4).unwrap();
+    assert!(
+        all_cache < all_scratchpad,
+        "idct's >2 KiB working set cannot live in the scratchpad ({all_cache} vs {all_scratchpad})"
+    );
+    assert!(sweep.best().cache_columns >= 1);
+}
+
+#[test]
+fn figure4_optimal_partition_differs_across_routines() {
+    // The paper's central observation: the optimum partition varies per procedure, so any
+    // static partition is a compromise.
+    let dequant = partition_sweep(&run_dequant(&mpeg()), &config()).unwrap();
+    let idct = partition_sweep(&run_idct(&mpeg()), &config()).unwrap();
+    assert_ne!(dequant.best().cache_columns, idct.best().cache_columns);
+}
+
+#[test]
+fn figure4d_column_cache_beats_every_static_partition_it_must_beat() {
+    let combined = run_combined(&mpeg());
+    let static_sweep = partition_sweep(&combined, &config()).unwrap();
+    let (phases, symbols) = run_phases(&mpeg());
+    let dynamic = run_dynamic(&phases, &symbols, &config()).unwrap();
+    let fig = Figure4dResult {
+        static_cycles: static_sweep
+            .points
+            .iter()
+            .map(|p| (p.cache_columns, p.cycles))
+            .collect(),
+        column_cache_cycles: dynamic.cycles,
+        column_cache_control_cycles: dynamic.control_cycles,
+    };
+    let worst = fig.static_cycles.iter().map(|&(_, c)| c).max().unwrap();
+    let (best_cols, best) = fig.best_static();
+    assert!(fig.column_cache_cycles < worst);
+    // the dynamic column cache is at least competitive with the best static partition
+    assert!(
+        fig.column_cache_cycles as f64 <= best as f64 * 1.15,
+        "column cache {} vs best static {best} (cache={best_cols})",
+        fig.column_cache_cycles
+    );
+    // and the remap overhead is a small fraction of the run
+    assert!(fig.column_cache_control_cycles < fig.column_cache_cycles / 2);
+}
+
+#[test]
+fn partition_sweep_accounts_every_reference_at_every_point() {
+    let run = run_dequant(&mpeg());
+    let sweep = partition_sweep(&run, &config()).unwrap();
+    for p in &sweep.points {
+        assert_eq!(p.result.references, run.trace.len() as u64);
+        assert_eq!(p.cache_columns + p.scratchpad_columns, 4);
+        assert!(p.cycles >= p.result.references); // at least one cycle per reference
+    }
+}
+
+#[test]
+fn scratchpad_points_store_only_what_fits() {
+    let run = run_idct(&mpeg());
+    let cfg = config();
+    let sweep = partition_sweep(&run, &cfg).unwrap();
+    for p in &sweep.points {
+        let scratch_bytes: u64 = p
+            .scratchpad_vars
+            .iter()
+            .filter_map(|name| run.symbols.by_name(name))
+            .map(|r| r.size)
+            .sum();
+        assert!(scratch_bytes <= p.scratchpad_columns as u64 * cfg.column_bytes());
+    }
+}

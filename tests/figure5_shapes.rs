@@ -1,0 +1,127 @@
+//! End-to-end integration test of the Figure 5 pipeline: gzip jobs → round-robin schedule
+//! → column-cache simulation → per-job CPI, asserting the paper's qualitative claims.
+
+use column_caching::core::multitask::{
+    quantum_sweep, run_multitasking, MultitaskConfig, SharingPolicy,
+};
+use column_caching::workloads::gzipsim::{run_gzip_job, GzipConfig};
+use column_caching::workloads::multitask::Job;
+
+fn jobs() -> Vec<Job> {
+    let cfg = GzipConfig {
+        input_len: 6 * 1024,
+        ..GzipConfig::default()
+    };
+    (0..3u64)
+        .map(|j| {
+            let run = run_gzip_job(
+                &cfg.with_seed(41 + j),
+                0x100_0000 * (j + 1),
+                &format!("gzip-{}", (b'A' + j as u8) as char),
+            );
+            Job::new(run.name.clone(), run.trace)
+        })
+        .collect()
+}
+
+const QUANTA: [usize; 6] = [4, 64, 1024, 4096, 16384, 262_144];
+
+#[test]
+fn figure5_shared_cache_cpi_depends_on_the_quantum() {
+    let jobs = jobs();
+    let shared = quantum_sweep(
+        &jobs,
+        &QUANTA,
+        &MultitaskConfig::cache_16k(),
+        SharingPolicy::Shared,
+        "gzip.16k",
+    )
+    .unwrap();
+    // CPI at the smallest quantum is clearly higher than in the batch regime.
+    let small_q = shared.points.first().unwrap().1;
+    let batch = shared.points.last().unwrap().1;
+    assert!(
+        small_q > batch * 1.1,
+        "expected quantum sensitivity, got {small_q:.3} vs {batch:.3}"
+    );
+    assert!(shared.variation() > 0.1);
+}
+
+#[test]
+fn figure5_mapped_column_cache_is_flat_and_helps_the_critical_job() {
+    let jobs = jobs();
+    let cfg = MultitaskConfig::cache_16k();
+    let shared = quantum_sweep(&jobs, &QUANTA, &cfg, SharingPolicy::Shared, "shared").unwrap();
+    let mapped = quantum_sweep(&jobs, &QUANTA, &cfg, SharingPolicy::Mapped, "mapped").unwrap();
+    // mapped variation is much smaller than shared variation
+    assert!(mapped.variation() < shared.variation() / 2.0);
+    // and at small quanta the mapped cache is strictly better for job A
+    assert!(mapped.points[0].1 < shared.points[0].1);
+    assert!(mapped.points[1].1 < shared.points[1].1);
+}
+
+#[test]
+fn figure5_large_cache_reduces_cpi_and_variation() {
+    let jobs = jobs();
+    let small = quantum_sweep(
+        &jobs,
+        &QUANTA,
+        &MultitaskConfig::cache_16k(),
+        SharingPolicy::Shared,
+        "16k",
+    )
+    .unwrap();
+    let large = quantum_sweep(
+        &jobs,
+        &QUANTA,
+        &MultitaskConfig::cache_128k(),
+        SharingPolicy::Shared,
+        "128k",
+    )
+    .unwrap();
+    assert!(large.max_cpi() < small.max_cpi());
+    assert!(large.variation() <= small.variation());
+    // the 128 KiB mapped configuration stays flat too
+    let large_mapped = quantum_sweep(
+        &jobs,
+        &QUANTA,
+        &MultitaskConfig::cache_128k(),
+        SharingPolicy::Mapped,
+        "128k mapped",
+    )
+    .unwrap();
+    assert!(large_mapped.variation() < 0.1);
+}
+
+#[test]
+fn figure5_other_jobs_still_make_progress_under_mapping() {
+    let jobs = jobs();
+    let cfg = MultitaskConfig::cache_16k();
+    let run = run_multitasking(&jobs, 1024, &cfg, SharingPolicy::Mapped).unwrap();
+    // every job retires all of its references
+    for (j, job) in jobs.iter().enumerate() {
+        assert_eq!(run.jobs[j].references, job.trace.len() as u64);
+    }
+    // the non-critical jobs pay for the smaller share of the cache but not absurdly so
+    let critical = run.jobs[0].cpi;
+    for other in &run.jobs[1..] {
+        assert!(other.cpi >= critical * 0.8);
+        assert!(other.cpi < critical * 6.0);
+    }
+}
+
+#[test]
+fn figure5_batch_scheduling_converges_for_shared_and_mapped() {
+    // At a quantum larger than every job, the schedule degenerates to batch processing;
+    // the shared cache then behaves like a private cache and approaches the mapped CPI.
+    let jobs = jobs();
+    let cfg = MultitaskConfig::cache_16k();
+    let shared = run_multitasking(&jobs, usize::MAX / 2, &cfg, SharingPolicy::Shared).unwrap();
+    let mapped = run_multitasking(&jobs, usize::MAX / 2, &cfg, SharingPolicy::Mapped).unwrap();
+    let a = shared.critical_job().cpi;
+    let b = mapped.critical_job().cpi;
+    assert!(
+        (a - b).abs() / a < 0.25,
+        "batch CPIs should be close: shared {a:.3} vs mapped {b:.3}"
+    );
+}

@@ -1,0 +1,2 @@
+//! Placeholder; the real replay benchmark is added with the ReplayEngine.
+fn main() {}

@@ -11,9 +11,8 @@
 use ccache_bench::{figure4_config, Scale};
 use ccache_core::dynamic::{run_dynamic, Figure4dResult};
 use ccache_core::partition::{partition_sweep, PartitionSweep};
-use ccache_core::report::{figure4d_table, partition_table, to_json};
+use ccache_core::report::{figure4d_table, partition_table, SweepReport};
 use ccache_workloads::mpeg::{run_combined, run_dequant, run_idct, run_phases, run_plus};
-use serde_json::json;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,13 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if let Some(path) = json_path {
-        let payload = json!({
-            "figure": "4",
-            "config": config,
-            "sweeps": sweeps,
-            "figure4d": fig4d,
-        });
-        std::fs::write(&path, to_json(&payload))?;
+        let payload = SweepReport {
+            figure: "4".to_owned(),
+            config,
+            sweeps,
+            figure4d: fig4d,
+        };
+        std::fs::write(&path, payload.to_json_string())?;
         println!("wrote {path}");
     }
     Ok(())

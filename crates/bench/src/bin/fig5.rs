@@ -10,7 +10,7 @@
 use ccache_bench::{figure5_configs, figure5_jobs, Scale};
 use ccache_core::multitask::{quantum_sweep, SharingPolicy};
 use ccache_core::report::{quantum_table, to_json};
-use serde_json::json;
+use ccache_json::{Json, ToJson};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", quantum_table(&series));
 
     if let Some(path) = json_path {
-        let payload = json!({ "figure": "5", "series": series });
+        let payload = Json::obj([
+            ("figure", "5".to_json()),
+            ("series", series.to_json()),
+        ]);
         std::fs::write(&path, to_json(&payload))?;
         println!("wrote {path}");
     }

@@ -14,12 +14,11 @@ use ccache_layout::weights::conflict_graph_from_trace;
 use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
 use ccache_sim::{ColumnMask, MemorySystem};
 use ccache_trace::{SymbolTable, Trace};
-use serde::{Deserialize, Serialize};
 
 use crate::partition::PartitionConfig;
 
 /// Result of one dynamically-remapped phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseResult {
     /// Phase (procedure) name.
     pub name: String,
@@ -32,7 +31,7 @@ pub struct PhaseResult {
 }
 
 /// Result of a full dynamically-remapped application run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicRunResult {
     /// Per-phase results in execution order.
     pub phases: Vec<PhaseResult>,
@@ -142,7 +141,7 @@ fn apply_remap(system: &mut MemorySystem, mapping: &CacheMapping) -> Result<(), 
 /// Convenience wrapper: the static-partition cycle counts (from the partition sweep of the
 /// combined application) next to the dynamic column-cache cycle count — the two curves of
 /// Figure 4(d).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure4dResult {
     /// Cycle count of the combined application for each static partition (cache columns
     /// 0..=k).

@@ -10,10 +10,9 @@ use crate::error::CoreError;
 use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, MemorySystem, SystemConfig, Tint};
 use ccache_trace::Trace;
 use ccache_workloads::multitask::{round_robin, Job, Schedule};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the multitasking experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultitaskConfig {
     /// Total cache capacity in bytes (the paper uses 16 KiB and 128 KiB).
     pub capacity_bytes: u64,
@@ -90,7 +89,7 @@ impl Default for MultitaskConfig {
 }
 
 /// Whether the column cache is partitioned between jobs or shared as a standard cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SharingPolicy {
     /// Standard cache: every job may replace any line.
     Shared,
@@ -100,7 +99,7 @@ pub enum SharingPolicy {
 }
 
 /// Per-job results of one multitasking run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobMetrics {
     /// Job name.
     pub name: String,
@@ -115,7 +114,7 @@ pub struct JobMetrics {
 }
 
 /// Result of one multitasking run (one quantum, one sharing policy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultitaskRun {
     /// The context-switch quantum in references.
     pub quantum: usize,
@@ -225,7 +224,7 @@ pub fn run_multitasking(
 
 /// One series of Figure 5: the critical job's CPI at every quantum, for one cache size and
 /// one sharing policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantumSeries {
     /// Label of the series (e.g. `"gzip.16k mapped"`).
     pub label: String,

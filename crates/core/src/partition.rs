@@ -22,7 +22,6 @@ use ccache_layout::weights::conflict_graph_from_trace;
 use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, SystemConfig};
 use ccache_trace::{AccessProfile, SymbolTable, Trace, VarId};
 use ccache_workloads::WorkloadRun;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Base address of the packed scratchpad block in the relocated memory map.
@@ -31,7 +30,7 @@ const SCRATCHPAD_BASE: u64 = 0x4_0000;
 const GENERAL_BASE: u64 = 0x10_0000;
 
 /// Configuration of a partition-sweep experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionConfig {
     /// Total on-chip memory in bytes (paper: 2048).
     pub capacity_bytes: u64,
@@ -85,7 +84,7 @@ impl PartitionConfig {
 }
 
 /// One point of the partition sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionPoint {
     /// Number of columns used as cache (the x-axis of Figure 4).
     pub cache_columns: usize,
@@ -100,7 +99,7 @@ pub struct PartitionPoint {
 }
 
 /// The full sweep for one routine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionSweep {
     /// Name of the routine.
     pub name: String,

@@ -1,9 +1,12 @@
-//! Report formatting: the tables and series printed by the benchmark harness.
+//! Report formatting: the tables and series printed by the benchmark harness, and the
+//! JSON renderings of every experiment result (the `--json` artefacts of the figure
+//! binaries).
 
-use crate::dynamic::Figure4dResult;
-use crate::multitask::QuantumSeries;
-use crate::partition::PartitionSweep;
-use serde::Serialize;
+use crate::dynamic::{DynamicRunResult, Figure4dResult, PhaseResult};
+use crate::multitask::{JobMetrics, MultitaskRun, QuantumSeries, SharingPolicy};
+use crate::partition::{PartitionConfig, PartitionPoint, PartitionSweep};
+use crate::runner::RunResult;
+use ccache_json::{Json, ToJson};
 use std::fmt::Write as _;
 
 /// Renders a partition sweep (one panel of Figure 4) as an ASCII table:
@@ -105,8 +108,171 @@ pub fn quantum_table(series: &[QuantumSeries]) -> String {
 }
 
 /// Serialises any report payload to pretty JSON (for EXPERIMENTS.md artefacts).
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+pub fn to_json<T: ToJson>(value: &T) -> String {
+    value.to_json().pretty()
+}
+
+/// The JSON artefact of one figure run: the sweeps of every routine plus the optional
+/// Figure 4(d) comparison, under a fixed configuration.
+///
+/// Serialization is deterministic (fixed key order, no maps), so two structurally equal
+/// reports — e.g. one computed serially and one in parallel — render byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Which figure the report reproduces (e.g. `"4"`).
+    pub figure: String,
+    /// The partition-experiment configuration the sweeps ran under.
+    pub config: PartitionConfig,
+    /// One sweep per routine.
+    pub sweeps: Vec<PartitionSweep>,
+    /// The static-vs-dynamic comparison, when the combined application was run.
+    pub figure4d: Option<Figure4dResult>,
+}
+
+impl SweepReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", self.figure.to_json()),
+            ("config", self.config.to_json()),
+            ("sweeps", self.sweeps.to_json()),
+            ("figure4d", self.figure4d.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("memory_cycles", self.memory_cycles.to_json()),
+            ("control_cycles", self.control_cycles.to_json()),
+            ("report", self.report.to_json()),
+            ("references", self.references.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("writebacks", self.writebacks.to_json()),
+            ("uncached", self.uncached.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PartitionConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity_bytes", self.capacity_bytes.to_json()),
+            ("columns", self.columns.to_json()),
+            ("line_size", self.line_size.to_json()),
+            ("page_size", self.page_size.to_json()),
+            ("latency", self.latency.to_json()),
+            ("include_control", self.include_control.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PartitionPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cache_columns", self.cache_columns.to_json()),
+            ("scratchpad_columns", self.scratchpad_columns.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("scratchpad_vars", self.scratchpad_vars.to_json()),
+            ("result", self.result.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PartitionSweep {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Figure4dResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("static_cycles", self.static_cycles.to_json()),
+            ("column_cache_cycles", self.column_cache_cycles.to_json()),
+            (
+                "column_cache_control_cycles",
+                self.column_cache_control_cycles.to_json(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for PhaseResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("result", self.result.to_json()),
+            ("layout_cost", self.layout_cost.to_json()),
+            ("preloaded_columns", self.preloaded_columns.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DynamicRunResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("phases", self.phases.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("control_cycles", self.control_cycles.to_json()),
+        ])
+    }
+}
+
+impl ToJson for SharingPolicy {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                SharingPolicy::Shared => "shared",
+                SharingPolicy::Mapped => "mapped",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl ToJson for JobMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("references", self.references.to_json()),
+            ("memory_cycles", self.memory_cycles.to_json()),
+            ("instructions", self.instructions.to_json()),
+            ("cpi", self.cpi.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MultitaskRun {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("quantum", self.quantum.to_json()),
+            ("policy", self.policy.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("context_switches", self.context_switches.to_json()),
+        ])
+    }
+}
+
+impl ToJson for QuantumSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -148,9 +314,13 @@ mod tests {
 
     #[test]
     fn to_json_round_trips_simple_values() {
-        #[derive(Serialize)]
         struct S {
             x: u32,
+        }
+        impl ToJson for S {
+            fn to_json(&self) -> Json {
+                Json::obj([("x", self.x.to_json())])
+            }
         }
         let s = to_json(&S { x: 4 });
         assert!(s.contains("\"x\": 4"));

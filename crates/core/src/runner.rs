@@ -9,11 +9,10 @@ use crate::error::CoreError;
 use ccache_layout::{ColumnAssignment, UnitMap};
 use ccache_sim::{ColumnMask, CycleReport, MemorySystem, SystemConfig, Tint};
 use ccache_trace::{SymbolTable, Trace, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How a region of memory is mapped onto the column cache.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegionMapping {
     /// Restrict the region's replacements to the given columns.
     Columns {
@@ -33,7 +32,7 @@ pub enum RegionMapping {
 }
 
 /// A complete mapping of variables onto the cache, ready to be programmed into a system.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CacheMapping {
     /// Per-address-range mappings as `(base, size, mapping)`.
     pub regions: Vec<(u64, u64, RegionMapping)>,
@@ -139,7 +138,7 @@ impl CacheMapping {
 }
 
 /// The outcome of replaying one trace on one configured system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Label of the run (workload or configuration name).
     pub name: String,

@@ -14,11 +14,10 @@ use crate::coloring;
 use crate::error::LayoutError;
 use crate::graph::ConflictGraph;
 use ccache_trace::VarId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Options controlling column assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayoutOptions {
     /// Total number of columns `k` in the cache.
     pub columns: usize,
@@ -61,7 +60,7 @@ impl LayoutOptions {
 }
 
 /// The result of column assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnAssignment {
     /// Number of columns in the target cache.
     pub columns: usize,

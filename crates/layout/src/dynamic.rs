@@ -9,11 +9,10 @@ use crate::assignment::{assign_columns, ColumnAssignment, LayoutOptions};
 use crate::error::LayoutError;
 use crate::weights::{conflict_graph_from_trace, UnitMap, WeightOptions};
 use ccache_trace::{SymbolTable, Trace, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Layout computed for one procedure (program phase).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseLayout {
     /// Name of the procedure or phase.
     pub name: String,
@@ -24,7 +23,7 @@ pub struct PhaseLayout {
 }
 
 /// A complete dynamic layout plan: one layout per phase plus remap costs between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicPlan {
     /// Per-phase layouts, in execution order.
     pub phases: Vec<PhaseLayout>,

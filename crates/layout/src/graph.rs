@@ -10,11 +10,10 @@
 
 use crate::error::LayoutError;
 use ccache_trace::VarId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A vertex of the conflict graph: one assignable unit (a variable or a split piece of one).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vertex {
     /// The underlying program variable.
     pub var: VarId,
@@ -27,7 +26,7 @@ pub struct Vertex {
 }
 
 /// Undirected weighted graph over assignable units.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConflictGraph {
     vertices: Vec<Vertex>,
     /// Sparse non-zero edge weights keyed by (min index, max index).

@@ -8,11 +8,10 @@
 
 use crate::graph::{ConflictGraph, Vertex};
 use ccache_trace::{Interval, SymbolTable, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One statement of the analysis IR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `count` accesses to `var` each time this statement executes.
     Access {
@@ -67,7 +66,7 @@ impl Stmt {
 }
 
 /// Estimated per-variable statistics derived from the IR.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EstimatedVariable {
     /// The variable.
     pub var: VarId,
@@ -78,7 +77,7 @@ pub struct EstimatedVariable {
 }
 
 /// A procedure (or whole program) in the analysis IR.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProgramIr {
     /// Top-level statements in program order.
     pub stmts: Vec<Stmt>,

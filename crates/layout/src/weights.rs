@@ -13,10 +13,9 @@
 
 use crate::graph::{ConflictGraph, Vertex};
 use ccache_trace::{AccessProfile, Interval, SymbolTable, Trace, VarId};
-use serde::{Deserialize, Serialize};
 
 /// One assignable unit: a whole variable, or one column-sized piece of a large variable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LayoutUnit {
     /// The program variable this unit belongs to.
     pub var: VarId,
@@ -31,7 +30,7 @@ pub struct LayoutUnit {
 }
 
 /// Options controlling unit construction and weight computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WeightOptions {
     /// Size `S` of one cache column in bytes; variables larger than this are split when
     /// `split_large_variables` is set.
@@ -54,7 +53,7 @@ impl Default for WeightOptions {
 }
 
 /// The set of assignable units derived from a symbol table.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UnitMap {
     units: Vec<LayoutUnit>,
 }

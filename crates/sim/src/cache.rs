@@ -10,10 +10,9 @@ use crate::error::SimError;
 use crate::mask::ColumnMask;
 use crate::replacement::ReplacementState;
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// State of one cache line.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheLine {
     /// Whether the line holds valid data.
     pub valid: bool,
@@ -24,7 +23,7 @@ pub struct CacheLine {
 }
 
 /// A line evicted to make room for a fill.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Eviction {
     /// Base address of the evicted line.
     pub line_addr: u64,
@@ -35,7 +34,7 @@ pub struct Eviction {
 }
 
 /// Result of presenting one access to the cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
     /// The line was found; `column` is the way it was found in.
     Hit {
@@ -73,7 +72,7 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheSet {
     lines: Vec<CacheLine>,
     repl: ReplacementState,
@@ -93,7 +92,7 @@ struct CacheSet {
 /// assert!(cache.access(0x1000, false, everything).is_miss());
 /// assert!(cache.access(0x1000, false, everything).is_hit());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnCache {
     config: CacheConfig,
     sets: Vec<CacheSet>,

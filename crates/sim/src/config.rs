@@ -2,7 +2,6 @@
 
 use crate::error::SimError;
 use crate::replacement::ReplacementPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and policy of one column cache.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.column_bytes(), 512);
 /// # Ok::<(), ccache_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     capacity_bytes: u64,
     columns: usize,
@@ -210,7 +209,7 @@ impl CacheConfigBuilder {
 ///
 /// These defaults model a small embedded system-on-chip: single-cycle hits, a modest
 /// off-chip miss penalty and a single-cycle scratchpad.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyConfig {
     /// Cycles charged for a cache hit (and for the lookup portion of a miss).
     pub hit_latency: u64,

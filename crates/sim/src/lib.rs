@@ -35,6 +35,7 @@
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod json;
 pub mod mask;
 pub mod memory;
 pub mod page_table;

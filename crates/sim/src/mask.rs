@@ -6,7 +6,6 @@
 //! the selected set are always searched.
 
 use crate::error::SimError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, Not};
 
@@ -14,7 +13,7 @@ use std::ops::{BitAnd, BitOr, Not};
 pub const MAX_COLUMNS: usize = 64;
 
 /// A bit vector over cache columns. Bit `i` set means column `i` may receive replacements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColumnMask {
     bits: u64,
 }

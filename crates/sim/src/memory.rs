@@ -4,10 +4,9 @@
 //! counted here, so experiments can also report memory traffic (a proxy for the energy cost
 //! the paper's embedded-systems context cares about).
 
-use serde::{Deserialize, Serialize};
 
 /// Counters and latency of the off-chip memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MainMemory {
     /// Cycles charged per line read (the miss penalty contribution of the DRAM itself).
     pub read_latency: u64,

@@ -6,12 +6,11 @@
 
 use crate::error::SimError;
 use crate::tint::Tint;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Range;
 
 /// Per-page attributes relevant to the column cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageEntry {
     /// The page's tint (resolved to a column mask through the tint table).
     pub tint: Tint,
@@ -29,7 +28,7 @@ impl Default for PageEntry {
 }
 
 /// A sparse page table: pages not explicitly configured use [`PageEntry::default`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageTable {
     page_size: u64,
     entries: BTreeMap<u64, PageEntry>,

@@ -6,11 +6,10 @@
 //! preferred over evicting live data.
 
 use crate::mask::ColumnMask;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The victim-selection policy applied within the allowed columns of a set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ReplacementPolicy {
     /// Least recently used (exact, per-set timestamps).
@@ -56,7 +55,7 @@ impl Default for ReplacementPolicy {
 }
 
 /// Per-set replacement state: recency/fill timestamps, PLRU bits and policy bookkeeping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplacementState {
     policy: ReplacementPolicy,
     /// Last-use time per way (LRU) — larger is more recent.

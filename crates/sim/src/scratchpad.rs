@@ -8,10 +8,9 @@
 //! scratchpad can be charged.
 
 use crate::error::SimError;
-use serde::{Deserialize, Serialize};
 
 /// A dedicated software-managed on-chip SRAM mapped at a fixed address range.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scratchpad {
     base: u64,
     size: u64,

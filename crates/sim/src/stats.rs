@@ -1,10 +1,9 @@
 //! Hit/miss and cycle statistics.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counters maintained by the column cache itself.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses presented to the cache.
     pub accesses: u64,
@@ -75,7 +74,7 @@ impl AddAssign<&CacheStats> for CacheStats {
 }
 
 /// Counters maintained by the memory system wrapper (cache + TLB + scratchpad + DRAM).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// Memory references processed.
     pub references: u64,
@@ -94,7 +93,7 @@ pub struct MemoryStats {
 }
 
 /// A cycle/CPI report combining memory stalls with a simple in-order compute model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CycleReport {
     /// Instructions represented by the replayed trace.
     pub instructions: u64,

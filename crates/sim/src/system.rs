@@ -22,11 +22,10 @@ use crate::scratchpad::Scratchpad;
 use crate::stats::{CacheStats, CycleReport, MemoryStats};
 use crate::tint::{Tint, TintTable};
 use crate::tlb::Tlb;
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Configuration of a [`MemorySystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Geometry and replacement policy of the column cache.
     pub cache: CacheConfig,
@@ -63,7 +62,7 @@ impl SystemConfig {
 }
 
 /// The simulated memory hierarchy driven by a reference stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySystem {
     config: SystemConfig,
     cache: ColumnCache,

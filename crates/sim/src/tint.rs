@@ -8,12 +8,11 @@
 
 use crate::error::SimError;
 use crate::mask::ColumnMask;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named virtual grouping of address regions (the paper's "red", "blue", ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tint(pub u32);
 
 impl Tint {
@@ -34,7 +33,7 @@ impl From<u32> for Tint {
 }
 
 /// The tint → column-bit-vector table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TintTable {
     columns: usize,
     map: BTreeMap<Tint, ColumnMask>,

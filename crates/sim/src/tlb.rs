@@ -6,10 +6,9 @@
 //! the cost of re-tinting versus tint-remapping can be measured.
 
 use crate::page_table::{PageEntry, PageTable};
-use serde::{Deserialize, Serialize};
 
 /// Statistics of TLB behaviour.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Lookups that found the page in the TLB.
     pub hits: u64,
@@ -33,7 +32,7 @@ impl TlbStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct TlbSlot {
     vpn: u64,
     entry: PageEntry,
@@ -41,7 +40,7 @@ struct TlbSlot {
 }
 
 /// A fully-associative, LRU-replaced translation-look-aside buffer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tlb {
     capacity: usize,
     slots: Vec<TlbSlot>,

@@ -1,13 +1,12 @@
 //! Memory reference events.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a program variable (array or scalar) in a [`crate::region::SymbolTable`].
 ///
 /// `VarId`s are dense indices handed out by the symbol table in allocation order, which
 /// makes them usable as vector indices in the layout algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 impl VarId {
@@ -31,7 +30,7 @@ impl From<u32> for VarId {
 }
 
 /// Whether a memory reference reads or writes its location.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load from memory.
     Read,
@@ -67,7 +66,7 @@ impl fmt::Display for AccessKind {
 /// Addresses are byte addresses in a flat (simulated) physical address space. The optional
 /// [`VarId`] annotation links the access back to the program variable that produced it so
 /// that the data-layout algorithm can attribute conflicts to variables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemAccess {
     /// Byte address of the access.
     pub addr: u64,

@@ -6,11 +6,10 @@
 //! `[first, last]` of trace positions.
 
 use crate::error::TraceError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed interval `[first, last]` of trace positions (event indices).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// Position of the first access (the variable's definition point).
     pub first: u64,

@@ -11,11 +11,10 @@ use crate::event::VarId;
 use crate::lifetime::Interval;
 use crate::region::SymbolTable;
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-variable profile: access count, lifetime and the ordered positions of its accesses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VariableProfile {
     /// The variable this profile describes.
     pub var: VarId,
@@ -56,7 +55,7 @@ impl VariableProfile {
 }
 
 /// Access profile of an entire trace: one [`VariableProfile`] per annotated variable.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AccessProfile {
     profiles: BTreeMap<VarId, VariableProfile>,
     /// Total number of events in the profiled trace (annotated or not).

@@ -8,11 +8,10 @@
 
 use crate::error::TraceError;
 use crate::event::VarId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named contiguous address range occupied by one program variable.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VariableRegion {
     /// Identifier of the variable (index into the owning [`SymbolTable`]).
     pub id: VarId,
@@ -62,7 +61,7 @@ impl fmt::Display for VariableRegion {
 /// Variables are laid out sequentially from a configurable base address, each aligned to the
 /// requested alignment. The table supports address-to-variable resolution, which the trace
 /// recorder and the access-profile builder both use.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SymbolTable {
     regions: Vec<VariableRegion>,
     next_addr: u64,

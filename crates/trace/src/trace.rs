@@ -1,7 +1,6 @@
 //! Ordered sequences of memory references.
 
 use crate::event::{AccessKind, MemAccess, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An ordered sequence of memory references produced by one program, task or kernel.
@@ -10,7 +9,7 @@ use std::collections::BTreeMap;
 /// events in order and charges hit/miss latencies. Traces can be concatenated (sequential
 /// phases of one program) or interleaved by the multitasking scheduler in
 /// `ccache-workloads`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<MemAccess>,
 }
@@ -192,7 +191,7 @@ impl From<Vec<MemAccess>> for Trace {
 }
 
 /// Summary statistics of a trace, convenient for reports and debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total number of events.
     pub events: usize,

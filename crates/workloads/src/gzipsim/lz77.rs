@@ -1,12 +1,11 @@
 //! Uninstrumented LZ77 compressor/decompressor used as the functional reference.
 
-use serde::{Deserialize, Serialize};
 
 /// Minimum match length worth emitting (as in deflate).
 pub const MIN_MATCH: usize = 3;
 
 /// Configuration of the gzip-like job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GzipConfig {
     /// Number of input bytes to compress.
     pub input_len: usize,
@@ -65,7 +64,7 @@ impl GzipConfig {
 }
 
 /// One LZ77 token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Token {
     /// A literal byte.
     Literal(u8),

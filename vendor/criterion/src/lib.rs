@@ -1,0 +1,361 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a minimal
+//! wall-clock benchmarking harness exposing the criterion API surface its benches use:
+//! [`Criterion`], [`Bencher::iter`]/[`Bencher::iter_batched`], benchmark groups with
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark is measured as `sample_size` samples; every sample times a batch of
+//! iterations sized so one sample takes roughly `measurement_time / sample_size`. The
+//! harness reports min/median/mean per-iteration time and derived throughput. There are no
+//! HTML reports, statistical regressions or plots — numbers go to stdout.
+//!
+//! Filtering works like criterion's CLI: any non-flag argument is a substring filter on
+//! the benchmark id. `--quick` shrinks sampling for smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may also use `std::hint`).
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility, ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declares the quantity one iteration processes, so the harness can report a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sampled {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+/// The measurement engine handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    result: Option<Sampled>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the cost of one iteration.
+        let warmup_end = Instant::now() + self.config.warm_up_time;
+        let mut one = Duration::from_nanos(1);
+        let mut warm_iters = 0u64;
+        while Instant::now() < warmup_end {
+            let t = Instant::now();
+            black_box(routine());
+            one = t.elapsed().max(Duration::from_nanos(1));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        let per_sample = (self.config.measurement_time / self.config.sample_size as u32)
+            .max(Duration::from_micros(50));
+        let iters_per_sample = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.result = Some(Sampled {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            mean,
+        });
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut input = Some(setup());
+        // Warm up once.
+        {
+            let i = input.take().expect("input present");
+            black_box(routine(i));
+            input = Some(setup());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let i = input.take().expect("input present");
+            let t = Instant::now();
+            black_box(routine(i));
+            samples.push(t.elapsed());
+            input = Some(setup());
+        }
+        samples.sort();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.result = Some(Sampled {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            mean,
+        });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark harness: owns configuration and the CLI filter.
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        let mut config = Config::default();
+        if quick {
+            config.sample_size = 5;
+            config.warm_up_time = Duration::from_millis(50);
+            config.measurement_time = Duration::from_millis(200);
+        }
+        Criterion {
+            config,
+            filter,
+            throughput: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_owned(), self.throughput, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            config: None,
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(s) => {
+                let rate = throughput.map(|t| describe_rate(t, s.median)).unwrap_or_default();
+                println!(
+                    "{id:<50} min {:>12} median {:>12} mean {:>12}{rate}",
+                    fmt_duration(s.min),
+                    fmt_duration(s.median),
+                    fmt_duration(s.mean),
+                );
+            }
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn describe_rate(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Elements(n) => format!("  ({:.1} Melem/s)", n as f64 / secs / 1e6),
+        Throughput::Bytes(n) => format!("  ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0)),
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    config: Option<Config>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut cfg = self
+            .config
+            .take()
+            .unwrap_or_else(|| self.parent.config.clone());
+        cfg.sample_size = n.max(2);
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let snapshot = Criterion {
+            config: self
+                .config
+                .clone()
+                .unwrap_or_else(|| self.parent.config.clone()),
+            filter: self.parent.filter.clone(),
+            throughput: None,
+        };
+        snapshot.run_one(id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions with an optional shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(4))
+            .bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u64, 2, 3, 4], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        trivial(&mut c);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the small slice
+//! of the rand 0.9 API its workloads use: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] and [`Rng::random_bool`]. The generator is SplitMix64 — fast,
+//! tiny and deterministic for a given seed, which is all the instrumented workloads need
+//! (they use randomness only to synthesise reproducible inputs).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// An RNG constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` (every supported integer fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is guaranteed to be in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {
+        $(impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        })*
+    };
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples an integer uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unbounded.
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(x) => x.to_i128(),
+            Bound::Excluded(x) => x.to_i128() + 1,
+            Bound::Unbounded => panic!("random_range requires a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(x) => x.to_i128(),
+            Bound::Excluded(x) => x.to_i128() - 1,
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        };
+        assert!(lo <= hi, "random_range called with an empty range");
+        let span = (hi - lo) as u128 + 1;
+        let v = (self.next_u64() as u128) % span;
+        T::from_i128(lo + v as i128)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 bits of the word give a uniform float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Not the cryptographic ChaCha generator of the real `rand` crate — the workloads
+    /// only need a reproducible stream, not security.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-8..=8);
+            assert!((-8..=8).contains(&v));
+            let b: u8 = rng.random_range(b'a'..=b'z');
+            assert!(b.is_ascii_lowercase());
+            let u: usize = rng.random_range(0..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "got {heads}");
+    }
+}

@@ -122,8 +122,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let retinted = system.tint_range(0..64 * 1024, Tint(5));
     let retint_writes = system.page_table().entry_writes - before_writes - remap_writes;
     let retint_flushes = system.stats().tlb_flushes - before_flushes - remap_flushes;
-    println!("{:>24} {:>18} {:>12}", "operation", "page-table writes", "TLB flushes");
-    println!("{:>24} {:>18} {:>12}", "remap tint", remap_writes, remap_flushes);
+    println!(
+        "{:>24} {:>18} {:>12}",
+        "operation", "page-table writes", "TLB flushes"
+    );
+    println!(
+        "{:>24} {:>18} {:>12}",
+        "remap tint", remap_writes, remap_flushes
+    );
     println!(
         "{:>24} {:>18} {:>12}",
         format!("re-tint {retinted} pages"),

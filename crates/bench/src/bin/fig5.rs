@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", quantum_table(&series));
 
     if let Some(path) = json_path {
-        let payload = Json::obj([
-            ("figure", "5".to_json()),
-            ("series", series.to_json()),
-        ]);
+        let payload = Json::obj([("figure", "5".to_json()), ("series", series.to_json())]);
         std::fs::write(&path, to_json(&payload))?;
         println!("wrote {path}");
     }

@@ -24,9 +24,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--quick` style command-line arguments (anything containing "quick").
+    /// Parses command-line arguments: the scale is `Quick` exactly when the `--quick`
+    /// flag (or its short form `-q`) appears as its own argument. Substrings do not
+    /// count — a path like `out/quick.json` must not flip the scale.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
-        if args.into_iter().any(|a| a.contains("quick")) {
+        if args.into_iter().any(|a| a == "--quick" || a == "-q") {
             Scale::Quick
         } else {
             Scale::Paper
@@ -97,11 +99,20 @@ mod tests {
     #[test]
     fn scale_parsing() {
         assert_eq!(Scale::from_args(vec!["--quick".to_owned()]), Scale::Quick);
+        assert_eq!(Scale::from_args(vec!["-q".to_owned()]), Scale::Quick);
         assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Paper);
         assert_eq!(
             Scale::from_args(vec!["fig4".to_owned(), "--routine".to_owned()]),
             Scale::Paper
         );
+        // a flag is a whole-argument match, not a substring match
+        for not_a_flag in ["out/quick.json", "--quicker", "quick", "notquick"] {
+            assert_eq!(
+                Scale::from_args(vec![not_a_flag.to_owned()]),
+                Scale::Paper,
+                "{not_a_flag:?} must not select the quick scale"
+            );
+        }
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! columns whose resident data fits entirely are pre-loaded so they behave as scratchpad.
 //! The remapping and preload overheads are charged as control cycles and reported.
 
+use crate::engine::ReplayEngine;
 use crate::error::CoreError;
 use crate::placement::{page_aligned, relocate};
-use crate::runner::{run_on, CacheMapping, RunResult};
+use crate::runner::{CacheMapping, RunResult};
 use ccache_layout::weights::conflict_graph_from_trace;
 use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
-use ccache_sim::{ColumnMask, MemorySystem};
+use ccache_sim::backend::{BackendKind, MemoryBackend};
+use ccache_sim::ColumnMask;
 use ccache_trace::{SymbolTable, Trace};
 
 use crate::partition::PartitionConfig;
@@ -69,7 +71,7 @@ pub fn run_dynamic(
         })
         .collect();
 
-    let mut system = MemorySystem::new(config.system_config()?)?;
+    let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config.system_config()?)?;
     let weight_opts = WeightOptions {
         column_bytes,
         split_large_variables: true,
@@ -107,8 +109,8 @@ pub fn run_dynamic(
             CacheMapping::from_assignment(&assignment, &units, new_symbols, &exclusive_columns);
         // Re-applying a mapping on a warm system is exactly the dynamic remapping the
         // paper describes: tints are redefined and affected pages re-tinted.
-        apply_remap(&mut system, &mapping)?;
-        let result = run_on(name, &mut system, trace)?;
+        apply_remap(engine.backend_mut(), &mapping)?;
+        let result = engine.replay(name, trace);
         total_cycles += if config.include_control {
             result.total_cycles_with_control()
         } else {
@@ -129,8 +131,8 @@ pub fn run_dynamic(
     })
 }
 
-/// Applies a new mapping to a warm system (the per-phase remap).
-fn apply_remap(system: &mut MemorySystem, mapping: &CacheMapping) -> Result<(), CoreError> {
+/// Applies a new mapping to a warm backend (the per-phase remap).
+fn apply_remap(system: &mut dyn MemoryBackend, mapping: &CacheMapping) -> Result<(), CoreError> {
     // Reset the default tint to all columns before narrowing it again, so a previous
     // phase's exclusivity does not leak into this phase.
     let columns = system.config().cache.columns();
@@ -204,7 +206,11 @@ mod tests {
         let dynamic = run_dynamic(&phases, &symbols, &cfg).unwrap();
 
         let fig4d = Figure4dResult {
-            static_cycles: sweep.points.iter().map(|p| (p.cache_columns, p.cycles)).collect(),
+            static_cycles: sweep
+                .points
+                .iter()
+                .map(|p| (p.cache_columns, p.cycles))
+                .collect(),
             column_cache_cycles: dynamic.cycles,
             column_cache_control_cycles: dynamic.control_cycles,
         };

@@ -41,30 +41,36 @@
 #![warn(missing_docs)]
 
 pub mod dynamic;
+pub mod engine;
 pub mod error;
 pub mod multitask;
+pub mod parallel;
 pub mod partition;
 pub mod placement;
 pub mod report;
 pub mod runner;
 
 pub use dynamic::{run_dynamic, DynamicRunResult, Figure4dResult};
+pub use engine::ReplayEngine;
 pub use error::CoreError;
 pub use multitask::{
     quantum_sweep, run_multitasking, JobMetrics, MultitaskConfig, MultitaskRun, QuantumSeries,
     SharingPolicy,
 };
-pub use partition::{partition_sweep, PartitionConfig, PartitionPoint, PartitionSweep};
-pub use placement::{page_aligned, pack_scratchpad_first, relocate, PlacementPlan};
-pub use runner::{run_on, run_trace, CacheMapping, RegionMapping, RunResult};
+pub use partition::{
+    partition_sweep, partition_sweep_serial, PartitionConfig, PartitionPoint, PartitionSweep,
+};
+pub use placement::{pack_scratchpad_first, page_aligned, relocate, PlacementPlan};
+pub use report::SweepReport;
+pub use runner::{run_on, run_trace, run_trace_on, CacheMapping, RegionMapping, RunResult};
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {
     pub use crate::dynamic::{run_dynamic, Figure4dResult};
+    pub use crate::engine::ReplayEngine;
     pub use crate::error::CoreError;
-    pub use crate::multitask::{
-        quantum_sweep, run_multitasking, MultitaskConfig, SharingPolicy,
-    };
+    pub use crate::multitask::{quantum_sweep, run_multitasking, MultitaskConfig, SharingPolicy};
     pub use crate::partition::{partition_sweep, PartitionConfig, PartitionSweep};
-    pub use crate::runner::{run_trace, CacheMapping, RegionMapping, RunResult};
+    pub use crate::report::SweepReport;
+    pub use crate::runner::{run_trace, run_trace_on, CacheMapping, RegionMapping, RunResult};
 }

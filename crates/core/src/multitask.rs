@@ -7,7 +7,9 @@
 //! CPI is both lower and nearly independent of the quantum.
 
 use crate::error::CoreError;
-use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, MemorySystem, SystemConfig, Tint};
+use crate::parallel::par_map;
+use ccache_sim::backend::{build_backend, BackendKind, MemoryBackend};
+use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, SystemConfig, Tint};
 use ccache_trace::Trace;
 use ccache_workloads::multitask::{round_robin, Job, Schedule};
 
@@ -139,13 +141,63 @@ fn address_span(trace: &Trace) -> (u64, u64) {
     (stats.min_addr, stats.max_addr + 1)
 }
 
-/// Runs one multitasking experiment point.
+/// Replays an interleaved schedule, attributing cycles and references to the issuing
+/// job. The schedule is contiguous per quantum, so each owner-run is handed to the
+/// backend as one batch (same statistics as per-reference replay, less overhead).
+fn replay_schedule(
+    system: &mut dyn MemoryBackend,
+    schedule: &Schedule,
+    jobs: usize,
+    quantum: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut per_job_cycles = vec![0u64; jobs];
+    let mut per_job_refs = vec![0u64; jobs];
+    let events = schedule.merged.as_slice();
+    let owners = &schedule.owner;
+    let mut batch: Vec<(u64, bool)> = Vec::with_capacity(quantum.min(events.len()).max(1));
+    let mut start = 0usize;
+    while start < events.len() {
+        let owner = owners[start];
+        let mut end = start + 1;
+        while end < events.len() && owners[end] == owner {
+            end += 1;
+        }
+        batch.clear();
+        batch.extend(events[start..end].iter().map(|ev| (ev.addr, ev.is_write())));
+        per_job_cycles[owner] += system.run_batch(&batch);
+        per_job_refs[owner] += (end - start) as u64;
+        start = end;
+    }
+    (per_job_cycles, per_job_refs)
+}
+
+/// Runs one multitasking experiment point on the column cache.
 ///
 /// # Errors
 ///
 /// Returns an error if the cache geometry is invalid or the mapped configuration requests
 /// more exclusive columns than exist.
 pub fn run_multitasking(
+    jobs: &[Job],
+    quantum: usize,
+    config: &MultitaskConfig,
+    policy: SharingPolicy,
+) -> Result<MultitaskRun, CoreError> {
+    run_multitasking_on(BackendKind::ColumnCache, jobs, quantum, config, policy)
+}
+
+/// Runs one multitasking experiment point on any backend kind.
+///
+/// With [`SharingPolicy::Mapped`] on a backend that ignores tint control (the baseline
+/// kinds), the run degrades to the shared behaviour — useful for checking that the
+/// benefit really comes from the mapping.
+///
+/// # Errors
+///
+/// Returns an error if the cache geometry is invalid or the mapped configuration requests
+/// more exclusive columns than exist.
+pub fn run_multitasking_on(
+    kind: BackendKind,
     jobs: &[Job],
     quantum: usize,
     config: &MultitaskConfig,
@@ -158,13 +210,10 @@ pub fn run_multitasking(
     }
     if config.critical_job_columns >= config.columns {
         return Err(CoreError::BadExperiment {
-            reason: format!(
-                "critical job cannot own all {} columns",
-                config.columns
-            ),
+            reason: format!("critical job cannot own all {} columns", config.columns),
         });
     }
-    let mut system = MemorySystem::new(config.system_config()?)?;
+    let mut system = build_backend(kind, config.system_config()?)?;
 
     if policy == SharingPolicy::Mapped {
         // Job 0 owns columns [0, critical_job_columns); the others share the rest.
@@ -185,13 +234,8 @@ pub fn run_multitasking(
     }
 
     let schedule: Schedule = round_robin(jobs, quantum);
-    let mut per_job_cycles = vec![0u64; jobs.len()];
-    let mut per_job_refs = vec![0u64; jobs.len()];
-    for (owner, ev) in schedule.iter() {
-        let cycles = system.access(ev.addr, ev.is_write());
-        per_job_cycles[owner] += cycles;
-        per_job_refs[owner] += 1;
-    }
+    let (per_job_cycles, per_job_refs) =
+        replay_schedule(system.as_mut(), &schedule, jobs.len(), quantum);
 
     let lat = config.latency;
     let jobs_metrics = jobs
@@ -253,6 +297,10 @@ impl QuantumSeries {
 }
 
 /// Sweeps the quantum for one configuration and policy, reporting the critical job's CPI.
+///
+/// Quanta are independent sweep points (each replays its own system), so with the
+/// `parallel` feature they run on worker threads; points are collected in quantum order,
+/// making the series deterministic either way.
 pub fn quantum_sweep(
     jobs: &[Job],
     quanta: &[usize],
@@ -260,11 +308,11 @@ pub fn quantum_sweep(
     policy: SharingPolicy,
     label: &str,
 ) -> Result<QuantumSeries, CoreError> {
-    let mut points = Vec::with_capacity(quanta.len());
-    for &q in quanta {
-        let run = run_multitasking(jobs, q, config, policy)?;
-        points.push((q, run.critical_job().cpi));
-    }
+    let points = par_map(quanta, |&q| {
+        run_multitasking(jobs, q, config, policy).map(|run| (q, run.critical_job().cpi))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(QuantumSeries {
         label: label.to_owned(),
         points,
@@ -319,10 +367,8 @@ mod tests {
         let jobs = small_jobs();
         let cfg = tiny_cache();
         let quanta = [16usize, 256, 4096, 65536];
-        let shared =
-            quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Shared, "shared").unwrap();
-        let mapped =
-            quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Mapped, "mapped").unwrap();
+        let shared = quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Shared, "shared").unwrap();
+        let mapped = quantum_sweep(&jobs, &quanta, &cfg, SharingPolicy::Mapped, "mapped").unwrap();
         assert!(
             mapped.variation() < shared.variation(),
             "mapped variation {} should be below shared variation {}",

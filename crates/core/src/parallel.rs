@@ -1,0 +1,127 @@
+//! Deterministic thread-parallel mapping for experiment sweeps.
+//!
+//! Sweep points (partition counts, scheduling quanta) are embarrassingly parallel: each
+//! builds and drives its own simulated memory system. [`par_map`] fans a slice out over
+//! scoped `std::thread` workers and returns results **in input order**, so a sweep's
+//! output — and therefore its serialized `SweepReport` — is byte-identical whether the
+//! `parallel` feature is on or off.
+//!
+//! With the `parallel` feature disabled (or a single-item input, or a single-CPU
+//! machine) the map degrades to a plain serial loop.
+
+/// Upper bound on worker threads, to keep small machines responsive.
+#[cfg(feature = "parallel")]
+const MAX_THREADS: usize = 16;
+
+/// Applies `f` to every item, possibly in parallel, preserving input order.
+#[cfg(feature = "parallel")]
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    par_map_threads(items, f, threads)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to the item count and
+/// [`MAX_THREADS`]). Exposed so tests can exercise the threaded path even on single-CPU
+/// machines.
+#[cfg(feature = "parallel")]
+pub fn par_map_threads<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let threads = threads.min(n).min(MAX_THREADS);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                collected.lock().expect("no poisoned worker").push((i, r));
+            });
+        }
+    });
+    let mut tagged = collected.into_inner().expect("workers joined");
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    items.iter().map(f).collect()
+}
+
+/// Serial stand-in for the explicit-thread variant when `parallel` is disabled.
+#[cfg(not(feature = "parallel"))]
+pub fn par_map_threads<T, R, F>(items: &[T], f: F, _threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    items.iter().map(f).collect()
+}
+
+/// Always-serial mapping, for measuring the parallel speed-up and for the
+/// byte-identical-output tests.
+pub fn seq_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let squares = par_map(&items, |&x| x * x);
+        assert_eq!(squares, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forced_threads_agree_with_serial() {
+        // Forces real worker threads even on single-CPU machines.
+        let items: Vec<u64> = (0..37).collect();
+        let f = |&x: &u64| (0..x).fold(x, |acc, i| acc.wrapping_mul(31).wrapping_add(i));
+        for threads in [2, 4, 16, 64] {
+            assert_eq!(par_map_threads(&items, f, threads), seq_map(&items, f));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+        assert_eq!(par_map_threads(&[7u64, 8], |&x| x + 1, 8), vec![8, 9]);
+    }
+}

@@ -15,10 +15,12 @@
 //! 4. the routine's reference stream is replayed and its cycle count recorded.
 
 use crate::error::CoreError;
+use crate::parallel::{par_map, seq_map};
 use crate::placement::{pack_scratchpad_first, relocate};
-use crate::runner::{run_trace, CacheMapping, RegionMapping, RunResult};
-use ccache_layout::{assign_columns, ConflictGraph, LayoutOptions, WeightOptions};
+use crate::runner::{run_trace_on, CacheMapping, RegionMapping, RunResult};
 use ccache_layout::weights::conflict_graph_from_trace;
+use ccache_layout::{assign_columns, ConflictGraph, LayoutOptions, WeightOptions};
+use ccache_sim::backend::BackendKind;
 use ccache_sim::{CacheConfig, ColumnMask, LatencyConfig, SystemConfig};
 use ccache_trace::{AccessProfile, SymbolTable, Trace, VarId};
 use ccache_workloads::WorkloadRun;
@@ -127,11 +129,7 @@ impl PartitionSweep {
 
 /// Greedily selects the variables to hold in `capacity` bytes of scratchpad, by decreasing
 /// access density, skipping variables that do not fit in the remaining space.
-pub fn select_scratchpad_vars(
-    trace: &Trace,
-    symbols: &SymbolTable,
-    capacity: u64,
-) -> Vec<VarId> {
+pub fn select_scratchpad_vars(trace: &Trace, symbols: &SymbolTable, capacity: u64) -> Vec<VarId> {
     if capacity == 0 {
         return Vec::new();
     }
@@ -154,9 +152,21 @@ pub fn select_scratchpad_vars(
     selected
 }
 
-/// Runs one partition point for a workload: `cache_columns` columns of cache, the rest
-/// scratchpad.
+/// Runs one partition point for a workload on the column cache: `cache_columns` columns
+/// of cache, the rest scratchpad.
 pub fn run_partition_point(
+    workload: &WorkloadRun,
+    config: &PartitionConfig,
+    cache_columns: usize,
+) -> Result<PartitionPoint, CoreError> {
+    run_partition_point_on(BackendKind::ColumnCache, workload, config, cache_columns)
+}
+
+/// Runs one partition point against any backend kind. On the set-associative baseline
+/// the scratchpad mapping degrades to ordinary cached accesses (the control operations
+/// are ignored), which is exactly the "standard cache" comparison line.
+pub fn run_partition_point_on(
+    kind: BackendKind,
     workload: &WorkloadRun,
     config: &PartitionConfig,
     cache_columns: usize,
@@ -172,7 +182,8 @@ pub fn run_partition_point(
     let scratchpad_capacity = scratchpad_columns as u64 * column_bytes;
 
     // 1. Pick the scratchpad residents.
-    let scratch_vars = select_scratchpad_vars(&workload.trace, &workload.symbols, scratchpad_capacity);
+    let scratch_vars =
+        select_scratchpad_vars(&workload.trace, &workload.symbols, scratchpad_capacity);
     let scratch_set: BTreeSet<VarId> = scratch_vars.iter().copied().collect();
 
     // 2. Relocate: scratchpad residents packed contiguously, everything else page-aligned.
@@ -234,7 +245,11 @@ pub fn run_partition_point(
         for &unit_idx in &reduced_to_unit {
             let unit = units.unit(unit_idx).expect("unit index valid");
             if let Some(region) = symbols.region(unit.var) {
-                mapping.map(region.base + unit.offset, unit.size, RegionMapping::Uncached);
+                mapping.map(
+                    region.base + unit.offset,
+                    unit.size,
+                    RegionMapping::Uncached,
+                );
             }
         }
     } else {
@@ -260,9 +275,10 @@ pub fn run_partition_point(
         }
     }
 
-    // 4. Replay.
+    // 4. Replay (batched, through the replay engine).
     let system_config = config.system_config()?;
-    let result = run_trace(
+    let result = run_trace_on(
+        kind,
         &format!("{}-cache{}", workload.name, cache_columns),
         system_config,
         &mapping,
@@ -287,17 +303,42 @@ pub fn run_partition_point(
 }
 
 /// Runs the full partition sweep (cache columns 0..=columns) for one workload.
+///
+/// Sweep points are independent — each builds, programs and replays its own system — so
+/// with the `parallel` feature (the default) they run on worker threads. Results are
+/// collected in point order; the sweep is byte-for-byte identical to
+/// [`partition_sweep_serial`].
 pub fn partition_sweep(
     workload: &WorkloadRun,
     config: &PartitionConfig,
 ) -> Result<PartitionSweep, CoreError> {
-    let mut points = Vec::with_capacity(config.columns + 1);
-    for cache_columns in 0..=config.columns {
-        points.push(run_partition_point(workload, config, cache_columns)?);
-    }
+    let cache_columns: Vec<usize> = (0..=config.columns).collect();
+    let points = par_map(&cache_columns, |&cc| {
+        run_partition_point(workload, config, cc)
+    });
+    collect_sweep(workload, points)
+}
+
+/// The sweep of [`partition_sweep`], computed strictly serially. Used to verify that the
+/// parallel path changes nothing, and as the comparison baseline in benches.
+pub fn partition_sweep_serial(
+    workload: &WorkloadRun,
+    config: &PartitionConfig,
+) -> Result<PartitionSweep, CoreError> {
+    let cache_columns: Vec<usize> = (0..=config.columns).collect();
+    let points = seq_map(&cache_columns, |&cc| {
+        run_partition_point(workload, config, cc)
+    });
+    collect_sweep(workload, points)
+}
+
+fn collect_sweep(
+    workload: &WorkloadRun,
+    points: Vec<Result<PartitionPoint, CoreError>>,
+) -> Result<PartitionSweep, CoreError> {
     Ok(PartitionSweep {
         name: workload.name.clone(),
-        points,
+        points: points.into_iter().collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -341,7 +382,15 @@ mod tests {
             all_scratchpad < all_cache,
             "dequant should prefer the all-scratchpad organisation ({all_scratchpad} vs {all_cache})"
         );
-        assert_eq!(sweep.best().cache_columns, sweep.points.iter().min_by_key(|p| p.cycles).unwrap().cache_columns);
+        assert_eq!(
+            sweep.best().cache_columns,
+            sweep
+                .points
+                .iter()
+                .min_by_key(|p| p.cycles)
+                .unwrap()
+                .cache_columns
+        );
     }
 
     #[test]
@@ -354,6 +403,62 @@ mod tests {
             all_cache < all_scratchpad,
             "idct should prefer the cache organisation ({all_cache} vs {all_scratchpad})"
         );
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_serialize_identically() {
+        // The acceptance bar for the parallel path: byte-identical SweepReport JSON.
+        let run = run_dequant(&MpegConfig::small());
+        let cfg = fast_config();
+        let parallel = partition_sweep(&run, &cfg).unwrap();
+        let serial = partition_sweep_serial(&run, &cfg).unwrap();
+        assert_eq!(parallel, serial);
+
+        // Force real worker threads (machines with one CPU would otherwise degrade the
+        // parallel path to a serial loop) and re-check.
+        let cache_columns: Vec<usize> = (0..=cfg.columns).collect();
+        let threaded = collect_sweep(
+            &run,
+            crate::parallel::par_map_threads(
+                &cache_columns,
+                |&cc| run_partition_point(&run, &cfg, cc),
+                4,
+            ),
+        )
+        .unwrap();
+        assert_eq!(threaded, serial);
+
+        let report = |sweep: PartitionSweep| crate::report::SweepReport {
+            figure: "4".to_owned(),
+            config: cfg,
+            sweeps: vec![sweep],
+            figure4d: None,
+        };
+        assert_eq!(
+            report(parallel).to_json_string(),
+            report(threaded).to_json_string()
+        );
+        assert_eq!(
+            report(serial.clone()).to_json_string(),
+            report(serial).to_json_string()
+        );
+    }
+
+    #[test]
+    fn baseline_backend_ignores_partitioning() {
+        use ccache_sim::backend::BackendKind;
+        let run = run_dequant(&MpegConfig::small());
+        let cfg = fast_config();
+        // On a conventional cache the "partition" degrades to plain caching, so every
+        // sweep point costs the same.
+        let p2 = run_partition_point_on(BackendKind::SetAssociative, &run, &cfg, 2).unwrap();
+        let p4 = run_partition_point_on(BackendKind::SetAssociative, &run, &cfg, 4).unwrap();
+        assert_eq!(p2.result.hits, p4.result.hits);
+        assert_eq!(p2.result.misses, p4.result.misses);
+        // The ideal scratchpad lower-bounds the column cache at every point.
+        let ideal = run_partition_point_on(BackendKind::IdealScratchpad, &run, &cfg, 2).unwrap();
+        let column = run_partition_point(&run, &cfg, 2).unwrap();
+        assert!(ideal.cycles <= column.cycles);
     }
 
     #[test]

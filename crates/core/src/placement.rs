@@ -90,7 +90,11 @@ pub fn page_aligned(symbols: &SymbolTable, base: u64, page_size: u64) -> Placeme
 ///
 /// Variables without a planned target keep their original addresses. Events not attributed
 /// to any variable are left untouched.
-pub fn relocate(trace: &Trace, symbols: &SymbolTable, plan: &PlacementPlan) -> (Trace, SymbolTable) {
+pub fn relocate(
+    trace: &Trace,
+    symbols: &SymbolTable,
+    plan: &PlacementPlan,
+) -> (Trace, SymbolTable) {
     // Build the new symbol table (preserving ids and order).
     let mut new_symbols = SymbolTable::with_base(0);
     for region in symbols.iter() {

@@ -13,7 +13,11 @@ use std::fmt::Write as _;
 /// cache columns, scratchpad columns, cycle count, miss count.
 pub fn partition_table(sweep: &PartitionSweep) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# {} — cycle count vs. cache size (columns)", sweep.name);
+    let _ = writeln!(
+        out,
+        "# {} — cycle count vs. cache size (columns)",
+        sweep.name
+    );
     let _ = writeln!(
         out,
         "{:>13} {:>18} {:>12} {:>10} {:>10}",
@@ -41,7 +45,10 @@ pub fn partition_table(sweep: &PartitionSweep) -> String {
 /// Renders the Figure 4(d) comparison: every static partition against the column cache.
 pub fn figure4d_table(result: &Figure4dResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# combined application — static partitions vs. column cache");
+    let _ = writeln!(
+        out,
+        "# combined application — static partitions vs. column cache"
+    );
     let _ = writeln!(out, "{:>22} {:>12}", "configuration", "cycles");
     for (cols, cycles) in &result.static_cycles {
         let _ = writeln!(out, "{:>22} {:>12}", format!("static cache={cols}"), cycles);
@@ -61,7 +68,11 @@ pub fn figure4d_table(result: &Figure4dResult) -> String {
     let _ = writeln!(
         out,
         "best static partition: cache={best_cols} ({best} cycles); column cache {}",
-        if result.column_cache_wins() { "wins or ties" } else { "does not win" }
+        if result.column_cache_wins() {
+            "wins or ties"
+        } else {
+            "does not win"
+        }
     );
     out
 }
@@ -70,7 +81,10 @@ pub fn figure4d_table(result: &Figure4dResult) -> String {
 /// column per series.
 pub fn quantum_table(series: &[QuantumSeries]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# clocks per instruction of job A vs. context-switch quantum");
+    let _ = writeln!(
+        out,
+        "# clocks per instruction of job A vs. context-switch quantum"
+    );
     let _ = write!(out, "{:>10}", "quantum");
     for s in series {
         let _ = write!(out, " {:>18}", s.label);

@@ -7,7 +7,8 @@
 
 use crate::error::CoreError;
 use ccache_layout::{ColumnAssignment, UnitMap};
-use ccache_sim::{ColumnMask, CycleReport, MemorySystem, SystemConfig, Tint};
+use ccache_sim::backend::{BackendKind, MemoryBackend};
+use ccache_sim::{ColumnMask, CycleReport, SystemConfig, Tint};
 use ccache_trace::{SymbolTable, Trace, VarId};
 use std::collections::BTreeMap;
 
@@ -99,13 +100,15 @@ impl CacheMapping {
         mapping
     }
 
-    /// Programs the mapping into a memory system: defines tints, tints page ranges,
-    /// marks uncached regions and performs preloads.
+    /// Programs the mapping into any memory backend: defines tints, tints page ranges,
+    /// marks uncached regions and performs preloads. Backends without a column-mapping
+    /// control surface (e.g. the set-associative baseline) accept and ignore the tint
+    /// operations.
     ///
     /// # Errors
     ///
     /// Returns an error if a mask is invalid for the system's cache.
-    pub fn apply(&self, system: &mut MemorySystem) -> Result<(), CoreError> {
+    pub fn apply<B: MemoryBackend + ?Sized>(&self, system: &mut B) -> Result<(), CoreError> {
         // Tints are allocated deterministically: one per distinct mask, starting at 1.
         let mut tint_of_mask: BTreeMap<u64, Tint> = BTreeMap::new();
         let mut next_tint = 1u32;
@@ -186,7 +189,7 @@ impl RunResult {
     }
 }
 
-/// Builds a memory system, applies a mapping and replays a trace.
+/// Builds a column-cache system, applies a mapping and replays a trace (batched).
 ///
 /// # Errors
 ///
@@ -197,36 +200,69 @@ pub fn run_trace(
     mapping: &CacheMapping,
     trace: &Trace,
 ) -> Result<RunResult, CoreError> {
-    let mut system = MemorySystem::new(config)?;
-    mapping.apply(&mut system)?;
-    run_on(name, &mut system, trace)
+    run_trace_on(BackendKind::ColumnCache, name, config, mapping, trace)
 }
 
-/// Replays a trace on an already-configured system, collecting a [`RunResult`] from the
-/// statistics accumulated *by this call only* (existing statistics are reset first; cache
-/// contents and mappings are preserved).
-pub fn run_on(name: &str, system: &mut MemorySystem, trace: &Trace) -> Result<RunResult, CoreError> {
+/// Builds a backend of the requested kind, applies a mapping and replays a trace through
+/// the batched [`ReplayEngine`](crate::engine::ReplayEngine) path.
+///
+/// # Errors
+///
+/// Returns an error if the system configuration or the mapping is invalid.
+pub fn run_trace_on(
+    kind: BackendKind,
+    name: &str,
+    config: SystemConfig,
+    mapping: &CacheMapping,
+    trace: &Trace,
+) -> Result<RunResult, CoreError> {
+    let mut engine = crate::engine::ReplayEngine::new(kind, config)?;
+    engine.apply(mapping)?;
+    Ok(engine.replay(name, trace))
+}
+
+/// Replays a trace on an already-configured backend one reference at a time, collecting
+/// a [`RunResult`] from the statistics accumulated *by this call only* (existing
+/// statistics are reset first; cache contents and mappings are preserved).
+///
+/// This is the reference replay path; the batched
+/// [`ReplayEngine::replay`](crate::engine::ReplayEngine::replay) produces identical
+/// results faster.
+pub fn run_on<B: MemoryBackend + ?Sized>(
+    name: &str,
+    system: &mut B,
+    trace: &Trace,
+) -> Result<RunResult, CoreError> {
     // Control cycles spent while configuring the system (tint setup, preloads) are kept
     // and added to any control work performed during the run itself.
-    let control_before = system.control_cycles;
+    let control_before = system.control_cycles();
     system.reset_stats();
     for ev in trace {
         system.access(ev.addr, ev.is_write());
     }
+    Ok(collect_result(name, system, control_before))
+}
+
+/// Assembles a [`RunResult`] from a backend's statistics after a replay.
+pub(crate) fn collect_result<B: MemoryBackend + ?Sized>(
+    name: &str,
+    system: &B,
+    control_before: u64,
+) -> RunResult {
     let report = system.cycle_report(false);
     let cache = system.cache_stats();
     let mem = system.stats();
-    Ok(RunResult {
+    RunResult {
         name: name.to_owned(),
         memory_cycles: mem.memory_cycles,
-        control_cycles: control_before + system.control_cycles,
+        control_cycles: control_before + system.control_cycles(),
         report,
         references: mem.references,
         hits: cache.hits,
         misses: cache.misses + cache.bypasses,
         writebacks: cache.writebacks,
         uncached: mem.uncached_accesses,
-    })
+    }
 }
 
 /// Convenience: variables of a workload sorted by decreasing access density
@@ -244,7 +280,7 @@ pub fn rank_by_density(trace: &Trace, symbols: &SymbolTable) -> Vec<(VarId, u64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccache_sim::LatencyConfig;
+    use ccache_sim::{LatencyConfig, MemorySystem};
     use ccache_trace::synth::sequential_scan;
 
     fn config() -> SystemConfig {

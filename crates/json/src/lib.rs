@@ -298,10 +298,7 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(
-            Json::Str("a\"b\\c\nd".into()).compact(),
-            r#""a\"b\\c\nd""#
-        );
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).compact(), r#""a\"b\\c\nd""#);
         assert_eq!(Json::Str("\u{1}".into()).compact(), "\"\\u0001\"");
     }
 

@@ -226,10 +226,7 @@ pub fn assign_columns(
         vertex_columns[idx] = col;
     }
     for (sub_idx, &full_idx) in sub_to_full.iter().enumerate() {
-        let color = coloring
-            .get(vertex_of[sub_idx])
-            .copied()
-            .unwrap_or(0);
+        let color = coloring.get(vertex_of[sub_idx]).copied().unwrap_or(0);
         vertex_columns[full_idx] = color_to_column(color);
     }
 

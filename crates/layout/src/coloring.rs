@@ -58,9 +58,7 @@ pub fn color_count(coloring: &[usize]) -> usize {
 /// Returns `true` if `coloring` assigns different colors to the endpoints of every
 /// non-zero-weight edge.
 pub fn is_proper(graph: &ConflictGraph, coloring: &[usize]) -> bool {
-    graph
-        .edges()
-        .all(|(a, b, _)| coloring[a] != coloring[b])
+    graph.edges().all(|(a, b, _)| coloring[a] != coloring[b])
 }
 
 /// Greedy maximum-clique heuristic, used as a lower bound for the exact search.

@@ -77,7 +77,8 @@ impl ConflictGraph {
 
     /// Finds the index of the vertex for a variable or returns an error.
     pub fn try_index_of(&self, var: VarId) -> Result<usize, LayoutError> {
-        self.index_of(var).ok_or(LayoutError::UnknownVariable { var })
+        self.index_of(var)
+            .ok_or(LayoutError::UnknownVariable { var })
     }
 
     /// Sets the weight of the undirected edge `(a, b)`. A weight of zero removes the edge.

@@ -279,7 +279,7 @@ mod tests {
         assert_eq!(g.edge_count(), 1);
         // min(50, 100) scaled by near-full overlap: roughly 50
         let w = g.weight(0, 1);
-        assert!(w >= 40 && w <= 50, "weight {w} outside expected band");
+        assert!((40..=50).contains(&w), "weight {w} outside expected band");
         assert_eq!(g.vertex(0).unwrap().name, "a");
         assert_eq!(g.vertex(0).unwrap().size, 64);
     }

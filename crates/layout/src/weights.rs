@@ -180,7 +180,9 @@ pub fn conflict_graph_from_trace(
     for (pos, ev) in trace.iter().enumerate() {
         let var = ev.var.or_else(|| symbols.resolve(ev.addr));
         let Some(var) = var else { continue };
-        let Some(region) = symbols.region(var) else { continue };
+        let Some(region) = symbols.region(var) else {
+            continue;
+        };
         let offset = ev.addr.saturating_sub(region.base);
         if let Some(idx) = unit_map.resolve(var, offset.min(region.size.saturating_sub(1))) {
             profiles[idx].record(pos as u64);

@@ -142,11 +142,7 @@ impl ColumnCache {
         self.stats.accesses += 1;
 
         // Lookup searches every column regardless of the mask.
-        if let Some(way) = set
-            .lines
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
-        {
+        if let Some(way) = set.lines.iter().position(|l| l.valid && l.tag == tag) {
             set.repl.on_access(way);
             if is_write {
                 set.lines[way].dirty = true;
@@ -268,11 +264,7 @@ impl ColumnCache {
                 columns: self.config.columns(),
             });
         }
-        Ok(self
-            .sets
-            .iter()
-            .filter(|s| s.lines[column].valid)
-            .count())
+        Ok(self.sets.iter().filter(|s| s.lines[column].valid).count())
     }
 
     /// Total number of valid lines in the cache.
@@ -422,7 +414,10 @@ mod tests {
         let c = small_cache();
         assert!(matches!(
             c.occupancy(4),
-            Err(SimError::ColumnOutOfRange { column: 4, columns: 4 })
+            Err(SimError::ColumnOutOfRange {
+                column: 4,
+                columns: 4
+            })
         ));
     }
 

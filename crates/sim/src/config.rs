@@ -95,7 +95,9 @@ impl CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig::builder().build().expect("default config is valid")
+        CacheConfig::builder()
+            .build()
+            .expect("default config is valid")
     }
 }
 
@@ -182,7 +184,7 @@ impl CacheConfigBuilder {
                 ),
             });
         }
-        if per_column < self.line_size || per_column % self.line_size != 0 {
+        if per_column < self.line_size || !per_column.is_multiple_of(self.line_size) {
             return Err(SimError::BadGeometry {
                 reason: format!(
                     "column of {per_column} bytes cannot hold whole {}-byte lines",
@@ -282,11 +284,17 @@ mod tests {
     fn builder_validates_power_of_two() {
         assert!(matches!(
             CacheConfig::builder().capacity_bytes(3000).build(),
-            Err(SimError::BadSize { what: "capacity", .. })
+            Err(SimError::BadSize {
+                what: "capacity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::builder().line_size(48).build(),
-            Err(SimError::BadSize { what: "line size", .. })
+            Err(SimError::BadSize {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::builder().columns(0).build(),

@@ -44,6 +44,16 @@ pub enum SimError {
         /// Size of the region in bytes.
         size: u64,
     },
+    /// The TLB was configured with no entries; translation needs at least one slot.
+    ZeroTlbEntries,
+    /// The cache line is larger than the mapping granularity, so one line would span
+    /// pages with potentially different tints.
+    LineExceedsPage {
+        /// Configured cache-line size in bytes.
+        line_size: u64,
+        /// Configured page size in bytes.
+        page_size: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -54,7 +64,10 @@ impl fmt::Display for SimError {
             }
             SimError::BadGeometry { reason } => write!(f, "inconsistent cache geometry: {reason}"),
             SimError::ColumnOutOfRange { column, columns } => {
-                write!(f, "column {column} out of range for a {columns}-column cache")
+                write!(
+                    f,
+                    "column {column} out of range for a {columns}-column cache"
+                )
             }
             SimError::EmptyMask => write!(f, "column mask selects no columns"),
             SimError::UnknownTint { tint } => write!(f, "tint {tint} is not defined"),
@@ -62,8 +75,20 @@ impl fmt::Display for SimError {
                 write!(f, "address {addr:#x} has no page-table entry")
             }
             SimError::BadScratchpadRange { base, size } => {
-                write!(f, "scratchpad range at {base:#x} of {size} bytes is invalid")
+                write!(
+                    f,
+                    "scratchpad range at {base:#x} of {size} bytes is invalid"
+                )
             }
+            SimError::ZeroTlbEntries => write!(f, "TLB must have at least one entry"),
+            SimError::LineExceedsPage {
+                line_size,
+                page_size,
+            } => write!(
+                f,
+                "cache line of {line_size} bytes exceeds the {page_size}-byte page, so one \
+                 line would span pages with different tints"
+            ),
         }
     }
 }

@@ -123,6 +123,9 @@ mod tests {
 
     #[test]
     fn masks_render_as_column_lists() {
-        assert_eq!(ColumnMask::from_columns([0, 2]).to_json().compact(), "[0,2]");
+        assert_eq!(
+            ColumnMask::from_columns([0, 2]).to_json().compact(),
+            "[0,2]"
+        );
     }
 }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod system;
 pub mod tint;
 pub mod tlb;
 
+pub use backend::{build_backend, BackendKind, IdealScratchpad, MemoryBackend, SetAssocBaseline};
 pub use cache::{AccessOutcome, CacheLine, ColumnCache, Eviction};
 pub use config::{CacheConfig, CacheConfigBuilder, LatencyConfig};
 pub use error::SimError;
@@ -61,6 +63,7 @@ pub use tlb::{Tlb, TlbStats};
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {
+    pub use crate::backend::{build_backend, BackendKind, MemoryBackend};
     pub use crate::cache::{AccessOutcome, ColumnCache};
     pub use crate::config::{CacheConfig, LatencyConfig};
     pub use crate::error::SimError;

@@ -45,7 +45,9 @@ impl ColumnMask {
     /// Creates a mask selecting exactly one column.
     pub fn single(column: usize) -> Self {
         assert!(column < MAX_COLUMNS, "column {column} out of range");
-        ColumnMask { bits: 1u64 << column }
+        ColumnMask {
+            bits: 1u64 << column,
+        }
     }
 
     /// Creates a mask from an iterator of column indices.

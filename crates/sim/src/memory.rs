@@ -4,7 +4,6 @@
 //! counted here, so experiments can also report memory traffic (a proxy for the energy cost
 //! the paper's embedded-systems context cares about).
 
-
 /// Counters and latency of the off-chip memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MainMemory {

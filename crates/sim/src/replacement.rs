@@ -11,8 +11,10 @@ use std::fmt;
 /// The victim-selection policy applied within the allowed columns of a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum ReplacementPolicy {
     /// Least recently used (exact, per-set timestamps).
+    #[default]
     Lru,
     /// First in, first out (evict the line filled longest ago).
     Fifo,
@@ -45,12 +47,6 @@ impl fmt::Display for ReplacementPolicy {
             ReplacementPolicy::Random => "random",
         };
         f.write_str(s)
-    }
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::Lru
     }
 }
 

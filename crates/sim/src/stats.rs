@@ -104,6 +104,29 @@ pub struct CycleReport {
 }
 
 impl CycleReport {
+    /// Builds a report from accumulated memory statistics under the standard in-order
+    /// compute model: `instructions = references × instructions_per_reference`, compute
+    /// cycles at `compute_cycles_per_instruction`, and control cycles folded into the
+    /// memory cycles when `include_control` is set. Every backend derives its report
+    /// through this one function so the CPI model cannot drift between them.
+    pub fn from_stats(
+        stats: &MemoryStats,
+        latency: &crate::config::LatencyConfig,
+        control_cycles: u64,
+        include_control: bool,
+    ) -> CycleReport {
+        let instructions = stats.references * latency.instructions_per_reference;
+        let mut memory_cycles = stats.memory_cycles;
+        if include_control {
+            memory_cycles += control_cycles;
+        }
+        CycleReport {
+            instructions,
+            compute_cycles: instructions * latency.compute_cycles_per_instruction,
+            memory_cycles,
+        }
+    }
+
     /// Total cycles.
     pub fn total_cycles(&self) -> u64 {
         self.compute_cycles + self.memory_cycles

@@ -49,12 +49,23 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
-    /// Validates the configuration (page size and cache geometry).
+    /// Validates the configuration: the page size must be a nonzero power of two, the
+    /// TLB needs at least one entry, and a cache line must not span pages (tints are
+    /// per-page, so a line crossing pages could carry two different mappings).
     pub fn validate(&self) -> Result<(), SimError> {
         if self.page_size == 0 || !self.page_size.is_power_of_two() {
             return Err(SimError::BadSize {
                 what: "page size",
                 value: self.page_size,
+            });
+        }
+        if self.tlb_entries == 0 {
+            return Err(SimError::ZeroTlbEntries);
+        }
+        if self.cache.line_size() > self.page_size {
+            return Err(SimError::LineExceedsPage {
+                line_size: self.cache.line_size(),
+                page_size: self.page_size,
             });
         }
         Ok(())
@@ -95,7 +106,10 @@ impl MemorySystem {
             page_table,
             tints: TintTable::new(columns),
             scratchpad: None,
-            memory: MainMemory::new(config.latency.miss_penalty, config.latency.writeback_penalty),
+            memory: MainMemory::new(
+                config.latency.miss_penalty,
+                config.latency.writeback_penalty,
+            ),
             stats: MemoryStats::default(),
             control_cycles: 0,
         })
@@ -158,6 +172,15 @@ impl MemorySystem {
         self.tlb.reset_stats();
         self.memory.reset();
         self.control_cycles = 0;
+    }
+
+    /// Returns the system to its just-constructed state: cache and TLB contents, page
+    /// table, tint table, scratchpad and every statistic are cleared. This discards all
+    /// programming; to restore a *programmed* warm state between sweep points, the replay
+    /// engine snapshots with [`MemoryBackend::boxed_clone`](crate::backend::MemoryBackend)
+    /// instead.
+    pub fn full_reset(&mut self) {
+        *self = MemorySystem::new(self.config).expect("config was validated at construction");
     }
 
     // ------------------------------------------------------------------
@@ -270,29 +293,109 @@ impl MemorySystem {
     /// Replays one memory reference and returns the cycles it took.
     pub fn access(&mut self, addr: u64, is_write: bool) -> u64 {
         self.stats.references += 1;
-        let lat = self.config.latency;
-        let mut cycles = 0u64;
 
         // Dedicated scratchpad is checked first: it is a separate address region.
-        if let Some(sp) = self.scratchpad.as_mut() {
-            if sp.contains(addr) {
-                sp.record_access();
-                self.stats.scratchpad_accesses += 1;
-                cycles += lat.scratchpad_latency;
-                self.stats.memory_cycles += cycles;
-                return cycles;
-            }
+        if self.scratchpad_access(addr) {
+            return self.config.latency.scratchpad_latency;
         }
 
         // Address translation: the TLB carries the tint to the replacement unit.
+        let mut cycles = 0u64;
         let (entry, tlb_hit) = self.tlb.lookup(addr, &self.page_table);
         if tlb_hit {
             self.stats.tlb_hits += 1;
         } else {
             self.stats.tlb_misses += 1;
-            cycles += lat.tlb_miss_penalty;
+            cycles += self.config.latency.tlb_miss_penalty;
         }
+        self.finish_access(addr, is_write, entry, cycles)
+    }
 
+    /// Replays a slice of references through a batched fast path.
+    ///
+    /// A small direct-mapped translation cache maps recently-seen pages to their TLB slot;
+    /// a cached page revalidates its slot in O(1) ([`Tlb::probe_slot`]) instead of
+    /// re-scanning the TLB. The probe performs exactly the state transitions of a full
+    /// lookup hit (clock, LRU touch, hit counter), and a slot that was reused for another
+    /// page falls back to the full lookup, so cycle counts, statistics **and TLB state**
+    /// are identical to per-reference replay — batching only changes wall-clock time. The
+    /// cached slots cannot go stale semantically because no control operation (re-tint,
+    /// cacheability change) can interleave with a batch.
+    pub fn run_batch(&mut self, refs: &[(u64, bool)]) -> u64 {
+        /// Direct-mapped translation-cache size; covers several interleaved streams.
+        const WAYS: usize = 16;
+        const EMPTY: u64 = u64::MAX;
+        // (vpn, TLB slot index) per way; the entry itself always comes from the TLB.
+        let mut tcache: [(u64, usize); WAYS] = [(EMPTY, 0); WAYS];
+
+        let page_size = self.config.page_size;
+        let tlb_miss_penalty = self.config.latency.tlb_miss_penalty;
+        // The full lookup, shared by the two slow paths (translation-cache miss and
+        // stale slot), so miss accounting can never diverge between them.
+        let full_lookup =
+            |sys: &mut Self, tcache: &mut [(u64, usize); WAYS], addr: u64, vpn: u64, way: usize| {
+                let (entry, hit, slot) = sys.tlb.lookup_slot(addr, &sys.page_table);
+                tcache[way] = (vpn, slot);
+                if hit {
+                    sys.stats.tlb_hits += 1;
+                    (entry, 0)
+                } else {
+                    sys.stats.tlb_misses += 1;
+                    (entry, tlb_miss_penalty)
+                }
+            };
+        let mut total = 0u64;
+        for &(addr, is_write) in refs {
+            self.stats.references += 1;
+            if self.scratchpad_access(addr) {
+                total += self.config.latency.scratchpad_latency;
+                continue;
+            }
+            let vpn = addr / page_size;
+            let way = (vpn as usize) % WAYS;
+            let cached = tcache[way];
+            let (entry, cycles) = if cached.0 == vpn {
+                match self.tlb.probe_slot(cached.1, vpn) {
+                    Some(entry) => {
+                        self.stats.tlb_hits += 1;
+                        (entry, 0)
+                    }
+                    // The TLB slot was reused for another page since we cached it.
+                    None => full_lookup(self, &mut tcache, addr, vpn, way),
+                }
+            } else {
+                full_lookup(self, &mut tcache, addr, vpn, way)
+            };
+            total += self.finish_access(addr, is_write, entry, cycles);
+        }
+        total
+    }
+
+    /// Serves `addr` from the dedicated scratchpad if one covers it, charging cycles and
+    /// statistics. Returns whether the access was absorbed.
+    fn scratchpad_access(&mut self, addr: u64) -> bool {
+        let lat = self.config.latency;
+        if let Some(sp) = self.scratchpad.as_mut() {
+            if sp.contains(addr) {
+                sp.record_access();
+                self.stats.scratchpad_accesses += 1;
+                self.stats.memory_cycles += lat.scratchpad_latency;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The post-translation half of an access: drives the cache (or bypasses it) and
+    /// charges cycles. `cycles` carries whatever the translation step already cost.
+    fn finish_access(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        entry: crate::page_table::PageEntry,
+        mut cycles: u64,
+    ) -> u64 {
+        let lat = self.config.latency;
         if !entry.cacheable {
             self.stats.uncached_accesses += 1;
             cycles += lat.uncached_latency;
@@ -347,17 +450,12 @@ impl MemorySystem {
     /// cycles (tint management, preloads, explicit copies) are included in the memory
     /// cycles if `include_control` is set.
     pub fn cycle_report(&self, include_control: bool) -> CycleReport {
-        let lat = self.config.latency;
-        let instructions = self.stats.references * lat.instructions_per_reference;
-        let mut memory_cycles = self.stats.memory_cycles;
-        if include_control {
-            memory_cycles += self.control_cycles;
-        }
-        CycleReport {
-            instructions,
-            compute_cycles: instructions * lat.compute_cycles_per_instruction,
-            memory_cycles,
-        }
+        CycleReport::from_stats(
+            &self.stats,
+            &self.config.latency,
+            self.control_cycles,
+            include_control,
+        )
     }
 }
 
@@ -393,7 +491,7 @@ mod tests {
     fn tint_isolation_prevents_cross_variable_eviction() {
         // Two streams that collide in every set: with the default single tint the second
         // stream evicts the first; with separate exclusive tints the first stays resident.
-        let stream_a: Vec<(u64, bool)> = (0..16u64).map(|i| (0x0000 + i * 32, false)).collect();
+        let stream_a: Vec<(u64, bool)> = (0..16u64).map(|i| ((i * 32), false)).collect();
         let stream_b: Vec<(u64, bool)> = (0..64u64).map(|i| (0x10_0000 + i * 32, false)).collect();
 
         // Shared cache: run A, then B (which floods all columns), then A again.
@@ -409,7 +507,7 @@ mod tests {
         part.define_tint(Tint(1), ColumnMask::single(0)).unwrap();
         part.define_tint(Tint(2), ColumnMask::from_columns([1, 2, 3]))
             .unwrap();
-        part.tint_range(0x0000..0x0000 + 16 * 32, Tint(1));
+        part.tint_range(0x0000..16 * 32, Tint(1));
         part.tint_range(0x10_0000..0x10_0000 + 64 * 32, Tint(2));
         part.run(stream_a.iter().copied());
         part.run(stream_b.iter().copied());
@@ -487,7 +585,9 @@ mod tests {
             evict_cost = s.access(i * 2048, true);
         }
         // the last access must have paid a writeback on top of the miss
-        assert!(evict_cost >= s.config().latency.miss_penalty + s.config().latency.writeback_penalty);
+        assert!(
+            evict_cost >= s.config().latency.miss_penalty + s.config().latency.writeback_penalty
+        );
         assert!(s.memory().line_writes >= 1);
     }
 
@@ -513,5 +613,80 @@ mod tests {
             ..SystemConfig::default()
         };
         assert!(MemorySystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_tlb_entries() {
+        let cfg = SystemConfig {
+            tlb_entries: 0,
+            ..SystemConfig::default()
+        };
+        assert_eq!(
+            MemorySystem::new(cfg).unwrap_err(),
+            SimError::ZeroTlbEntries
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_line_spanning_pages() {
+        // 32-byte lines (the default cache) with 16-byte pages: a line would cross pages.
+        let cfg = SystemConfig {
+            page_size: 16,
+            ..SystemConfig::default()
+        };
+        assert_eq!(
+            MemorySystem::new(cfg).unwrap_err(),
+            SimError::LineExceedsPage {
+                line_size: 32,
+                page_size: 16,
+            }
+        );
+        // equal sizes are fine: a line exactly fills a page
+        let cfg = SystemConfig {
+            page_size: 32,
+            ..SystemConfig::default()
+        };
+        assert!(MemorySystem::new(cfg).is_ok());
+    }
+
+    #[test]
+    fn run_batch_matches_per_reference_access() {
+        let refs: Vec<(u64, bool)> = (0..600u64)
+            .map(|i| ((i * 97) % 0x8000, i % 5 == 0))
+            .collect();
+        let mut per_ref = system();
+        per_ref.define_tint(Tint(1), ColumnMask::single(1)).unwrap();
+        per_ref.tint_range(0..0x1000, Tint(1));
+        let mut batched = per_ref.clone();
+
+        let a: u64 = refs.iter().map(|&(addr, w)| per_ref.access(addr, w)).sum();
+        let b = batched.run_batch(&refs);
+        assert_eq!(a, b);
+        assert_eq!(per_ref.stats(), batched.stats());
+        assert_eq!(per_ref.cache_stats(), batched.cache_stats());
+        assert_eq!(per_ref.tlb().stats(), batched.tlb().stats());
+    }
+
+    #[test]
+    fn run_batch_respects_scratchpad_and_uncached_regions() {
+        let mut a = system();
+        a.attach_scratchpad(0x5_0000, 1024).unwrap();
+        a.set_cacheable(0x9000..0x9400, false);
+        let mut b = a.clone();
+        let refs: Vec<(u64, bool)> = (0..300u64)
+            .map(|i| match i % 3 {
+                0 => (0x5_0000 + (i % 32) * 32, false),
+                1 => (0x9000 + (i % 32) * 32, true),
+                _ => ((i * 64) % 0x4000, false),
+            })
+            .collect();
+        let cycles_a: u64 = refs.iter().map(|&(addr, w)| a.access(addr, w)).sum();
+        let cycles_b = b.run_batch(&refs);
+        assert_eq!(cycles_a, cycles_b);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.scratchpad().unwrap().accesses,
+            b.scratchpad().unwrap().accesses
+        );
     }
 }

@@ -87,7 +87,8 @@ impl TintTable {
 
     /// Returns the mask of `tint` or an error naming the missing tint.
     pub fn try_mask_of(&self, tint: Tint) -> Result<ColumnMask, SimError> {
-        self.mask_of(tint).ok_or(SimError::UnknownTint { tint: tint.0 })
+        self.mask_of(tint)
+            .ok_or(SimError::UnknownTint { tint: tint.0 })
     }
 
     /// Number of tints defined (including the default tint).
@@ -158,7 +159,10 @@ mod tests {
         let mut t = TintTable::new(4);
         assert!(t.define(Tint(1), ColumnMask::single(2)).is_ok());
         assert_eq!(t.mask_of(Tint(1)), Some(ColumnMask::single(2)));
-        assert_eq!(t.define(Tint(2), ColumnMask::EMPTY), Err(SimError::EmptyMask));
+        assert_eq!(
+            t.define(Tint(2), ColumnMask::EMPTY),
+            Err(SimError::EmptyMask)
+        );
         assert!(matches!(
             t.define(Tint(2), ColumnMask::single(7)),
             Err(SimError::ColumnOutOfRange { .. })
@@ -172,7 +176,8 @@ mod tests {
         assert_eq!(t.mask_or_default(Tint(9)), ColumnMask::all(4));
         assert!(t.try_mask_of(Tint(9)).is_err());
         // and the fallback follows the default tint if it is remapped
-        t.define(Tint::DEFAULT, ColumnMask::from_columns([0, 1])).unwrap();
+        t.define(Tint::DEFAULT, ColumnMask::from_columns([0, 1]))
+            .unwrap();
         assert_eq!(t.mask_or_default(Tint(9)), ColumnMask::from_columns([0, 1]));
     }
 

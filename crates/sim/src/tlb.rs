@@ -88,34 +88,63 @@ impl Tlb {
     ///
     /// Returns the page entry and whether the lookup hit in the TLB.
     pub fn lookup(&mut self, addr: u64, page_table: &PageTable) -> (PageEntry, bool) {
+        let (entry, hit, _slot) = self.lookup_slot(addr, page_table);
+        (entry, hit)
+    }
+
+    /// [`Tlb::lookup`], additionally reporting the slot index now holding the page.
+    ///
+    /// The returned index is the handle for [`Tlb::probe_slot`]: the batched replay path
+    /// remembers it per page and revalidates instead of re-scanning the slot vector.
+    pub fn lookup_slot(&mut self, addr: u64, page_table: &PageTable) -> (PageEntry, bool, usize) {
         self.clock += 1;
         let vpn = page_table.page_of(addr);
-        if let Some(slot) = self.slots.iter_mut().find(|s| s.vpn == vpn) {
+        if let Some(idx) = self.slots.iter().position(|s| s.vpn == vpn) {
+            let slot = &mut self.slots[idx];
             slot.last_use = self.clock;
             self.stats.hits += 1;
-            return (slot.entry, true);
+            return (slot.entry, true, idx);
         }
         self.stats.misses += 1;
         let entry = page_table.entry(vpn);
-        if self.slots.len() < self.capacity {
+        let idx = if self.slots.len() < self.capacity {
             self.slots.push(TlbSlot {
                 vpn,
                 entry,
                 last_use: self.clock,
             });
+            self.slots.len() - 1
         } else {
-            let lru = self
+            let idx = self
                 .slots
-                .iter_mut()
-                .min_by_key(|s| s.last_use)
-                .expect("capacity >= 1");
-            *lru = TlbSlot {
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_use)
+                .expect("capacity >= 1")
+                .0;
+            self.slots[idx] = TlbSlot {
                 vpn,
                 entry,
                 last_use: self.clock,
             };
+            idx
+        };
+        (entry, false, idx)
+    }
+
+    /// O(1) revalidating lookup: if slot `idx` still holds page `vpn`, touches it exactly
+    /// as a full [`Tlb::lookup`] hit would (clock advance, LRU update, hit counted) and
+    /// returns its entry. Returns `None` — with **no** state change — when the slot was
+    /// reused for another page, in which case the caller falls back to a full lookup.
+    pub fn probe_slot(&mut self, idx: usize, vpn: u64) -> Option<PageEntry> {
+        let slot = self.slots.get_mut(idx)?;
+        if slot.vpn != vpn {
+            return None;
         }
-        (entry, false)
+        self.clock += 1;
+        slot.last_use = self.clock;
+        self.stats.hits += 1;
+        Some(slot.entry)
     }
 
     /// Returns `true` if the TLB currently holds a translation for page `vpn`.

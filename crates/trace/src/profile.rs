@@ -119,7 +119,8 @@ impl AccessProfile {
 
     /// Returns the profile of one variable or an error naming it.
     pub fn try_get(&self, var: VarId) -> Result<&VariableProfile, TraceError> {
-        self.get(var).ok_or(TraceError::UnknownVariable { id: var.0 })
+        self.get(var)
+            .ok_or(TraceError::UnknownVariable { id: var.0 })
     }
 
     /// Iterates over the per-variable profiles in `VarId` order.

@@ -171,10 +171,7 @@ impl SymbolTable {
 
     /// Resolves an address to the variable whose region contains it.
     pub fn resolve(&self, addr: u64) -> Option<VarId> {
-        self.regions
-            .iter()
-            .find(|r| r.contains(addr))
-            .map(|r| r.id)
+        self.regions.iter().find(|r| r.contains(addr)).map(|r| r.id)
     }
 
     /// Iterates over all regions in allocation order.

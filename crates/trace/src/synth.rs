@@ -127,7 +127,13 @@ pub fn interleave(traces: &[Trace], burst: usize) -> Trace {
 /// A pointer-chase style pattern: `count` dependent accesses over a region, where each next
 /// address is a fixed permutation step of the previous one. Produces poor spatial locality
 /// and (for regions larger than the cache) poor temporal locality.
-pub fn pointer_chase(base: u64, len: u64, access_size: u32, count: usize, var: Option<VarId>) -> Trace {
+pub fn pointer_chase(
+    base: u64,
+    len: u64,
+    access_size: u32,
+    count: usize,
+    var: Option<VarId>,
+) -> Trace {
     assert!(len >= u64::from(access_size.max(1)));
     let slots = (len / u64::from(access_size.max(1))).max(1);
     // An odd additive step of at least half the region visits every slot before repeating

@@ -117,11 +117,7 @@ impl Trace {
     /// Useful as a simple working-set-size estimate. `line_size` must be a power of two.
     pub fn footprint_lines(&self, line_size: u64) -> usize {
         assert!(line_size.is_power_of_two() && line_size > 0);
-        let mut lines: Vec<u64> = self
-            .events
-            .iter()
-            .map(|e| e.addr / line_size)
-            .collect();
+        let mut lines: Vec<u64> = self.events.iter().map(|e| e.addr / line_size).collect();
         lines.sort_unstable();
         lines.dedup();
         lines.len()

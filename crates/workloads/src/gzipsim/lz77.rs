@@ -1,6 +1,5 @@
 //! Uninstrumented LZ77 compressor/decompressor used as the functional reference.
 
-
 /// Minimum match length worth emitting (as in deflate).
 pub const MIN_MATCH: usize = 3;
 
@@ -109,7 +108,10 @@ pub fn compress(input: &[u8], config: &GzipConfig) -> Vec<Token> {
                 break;
             }
             let mut len = 0usize;
-            while pos + len < n && len < config.max_match && input[cand_pos + len] == input[pos + len] {
+            while pos + len < n
+                && len < config.max_match
+                && input[cand_pos + len] == input[pos + len]
+            {
                 len += 1;
             }
             if len > best_len {
@@ -181,7 +183,9 @@ mod tests {
     #[test]
     fn roundtrip_on_incompressible_data() {
         // pseudo-random bytes: few matches, must still round-trip
-        let input: Vec<u8> = (0..2000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let input: Vec<u8> = (0..2000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let tokens = compress(&input, &GzipConfig::small());
         assert_eq!(decompress(&tokens), input);
     }
@@ -209,7 +213,10 @@ mod tests {
         let input = generate_input(20_000, 9);
         let tokens = compress(&input, &GzipConfig::default());
         let ratio = encoded_size(&tokens) as f64 / input.len() as f64;
-        assert!(ratio < 0.8, "expected some compression, got ratio {ratio:.2}");
+        assert!(
+            ratio < 0.8,
+            "expected some compression, got ratio {ratio:.2}"
+        );
     }
 
     #[test]

@@ -61,17 +61,22 @@ pub fn record_gzip(rec: &mut TraceRecorder, config: &GzipConfig, prefix: &str) -
     // head[h] = most recent position with hash h (+1; 0 = empty)
     let mut head: Tracked<u32> = Tracked::new(rec, &format!("{prefix}hash_head"), hash_size);
     // prev[pos % window] = previous position in the chain (+1; 0 = end)
-    let mut prev: Tracked<u32> = Tracked::new(rec, &format!("{prefix}prev_chain"), config.window_len);
-    let mut output: Tracked<u8> = Tracked::new(rec, &format!("{prefix}output"), config.input_len + 16);
+    let mut prev: Tracked<u32> =
+        Tracked::new(rec, &format!("{prefix}prev_chain"), config.window_len);
+    let mut output: Tracked<u8> =
+        Tracked::new(rec, &format!("{prefix}output"), config.input_len + 16);
 
     let mut out_pos = 0usize;
-    let mut emit = |output: &mut Tracked<u8>, rec: &mut TraceRecorder, byte: u8, checksum: &mut u64| {
-        if out_pos < output.len() {
-            output.set(rec, out_pos, byte);
-        }
-        out_pos += 1;
-        *checksum = checksum.wrapping_mul(16777619).wrapping_add(u64::from(byte));
-    };
+    let mut emit =
+        |output: &mut Tracked<u8>, rec: &mut TraceRecorder, byte: u8, checksum: &mut u64| {
+            if out_pos < output.len() {
+                output.set(rec, out_pos, byte);
+            }
+            out_pos += 1;
+            *checksum = checksum
+                .wrapping_mul(16777619)
+                .wrapping_add(u64::from(byte));
+        };
 
     let mut checksum = 0u64;
     let n = input_data.len();
@@ -175,8 +180,14 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 2000);
         let tokens = compress(&a, &GzipConfig::small());
-        let matches = tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
-        assert!(matches > 10, "dictionary text should produce matches, got {matches}");
+        let matches = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
+        assert!(
+            matches > 10,
+            "dictionary text should produce matches, got {matches}"
+        );
         assert_ne!(generate_input(2000, 43), a);
     }
 

@@ -40,7 +40,9 @@ impl FirConfig {
 
 fn generate(config: &FirConfig) -> (Vec<i32>, Vec<i32>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let coeffs = (0..config.taps).map(|_| rng.random_range(-64..=64)).collect();
+    let coeffs = (0..config.taps)
+        .map(|_| rng.random_range(-64..=64))
+        .collect();
     let input = (0..config.samples)
         .map(|_| rng.random_range(-1024..=1024))
         .collect();

@@ -40,8 +40,12 @@ impl TriadConfig {
 
 fn generate(config: &TriadConfig) -> (Vec<i32>, Vec<i32>) {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let b = (0..config.elements).map(|_| rng.random_range(-100..=100)).collect();
-    let c = (0..config.elements).map(|_| rng.random_range(-100..=100)).collect();
+    let b = (0..config.elements)
+        .map(|_| rng.random_range(-100..=100))
+        .collect();
+    let c = (0..config.elements)
+        .map(|_| rng.random_range(-100..=100))
+        .collect();
     (b, c)
 }
 

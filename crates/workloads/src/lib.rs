@@ -35,7 +35,7 @@ pub mod multitask;
 pub use gzipsim::{run_gzip, run_gzip_job, GzipConfig};
 pub use instrument::{Tracked, WorkloadRun};
 pub use mpeg::{run_combined, run_dequant, run_idct, run_plus, MpegConfig};
-pub use multitask::{round_robin, figure5_quanta, Job, Schedule};
+pub use multitask::{figure5_quanta, round_robin, Job, Schedule};
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {

@@ -120,7 +120,10 @@ mod tests {
         let idct_bytes = cfg.idct_blocks * BLOCK_COEFFS * 2;
         assert!(dequant_bytes <= 2048, "dequant working set must fit 2 KiB");
         assert!(plus_bytes <= 2048, "plus working set must fit 2 KiB");
-        assert!(idct_bytes > 2048, "idct macroblock buffer must exceed 2 KiB");
+        assert!(
+            idct_bytes > 2048,
+            "idct macroblock buffer must exceed 2 KiB"
+        );
         assert!(cfg.quant_scale >= 1 && cfg.quant_scale <= 31);
     }
 

@@ -119,13 +119,18 @@ mod tests {
     #[test]
     fn mismatch_control_makes_nonzero_ac_odd() {
         let mut coeffs = [0i16; BLOCK_COEFFS];
-        for i in 1..BLOCK_COEFFS {
-            coeffs[i] = (i as i16 % 7) - 3;
+        for (i, c) in coeffs.iter_mut().enumerate().skip(1) {
+            *c = (i as i16 % 7) - 3;
         }
         let out = dequant_block(&coeffs, &DEFAULT_INTRA_QUANT, 8);
-        for i in 1..BLOCK_COEFFS {
-            if out[i] != 0 {
-                assert_eq!(out[i].rem_euclid(2), 1, "coefficient {i} is even: {}", out[i]);
+        for (i, &o) in out.iter().enumerate().skip(1) {
+            if o != 0 {
+                assert_eq!(
+                    out[i].rem_euclid(2),
+                    1,
+                    "coefficient {i} is even: {}",
+                    out[i]
+                );
             }
         }
     }

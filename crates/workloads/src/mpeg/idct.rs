@@ -60,7 +60,8 @@ pub fn record_idct(rec: &mut TraceRecorder, config: &MpegConfig) -> u64 {
     let input = generate_coefficients(config.idct_blocks, config.seed);
     // The macroblock buffer holds every block's coefficients and is transformed in place
     // (row pass, then column pass). It is the structure that exceeds the on-chip memory.
-    let mut macroblock: Tracked<i16> = Tracked::new(rec, "idct_macroblock", config.idct_blocks * BLOCK_COEFFS);
+    let mut macroblock: Tracked<i16> =
+        Tracked::new(rec, "idct_macroblock", config.idct_blocks * BLOCK_COEFFS);
     let cos_fixed = cosine_table_fixed();
     let cos_table = Tracked::from_slice(rec, "idct_cos_tbl", &cos_fixed);
     let mut row_buf: Tracked<i32> = Tracked::new(rec, "idct_row_buf", 8);
@@ -192,7 +193,12 @@ mod tests {
             let fixed = idct_block_separable(&block);
             for i in 0..BLOCK_COEFFS {
                 let err = (i32::from(exact[i]) - i32::from(fixed[i])).abs();
-                assert!(err <= 3, "block {b} coeff {i}: exact {} vs fixed {}", exact[i], fixed[i]);
+                assert!(
+                    err <= 3,
+                    "block {b} coeff {i}: exact {} vs fixed {}",
+                    exact[i],
+                    fixed[i]
+                );
             }
         }
     }
@@ -219,7 +225,11 @@ mod tests {
         let cfg = MpegConfig::default();
         let run = run_idct(&cfg);
         let mb = run.symbols.by_name("idct_macroblock").unwrap();
-        assert!(mb.size > 2048, "macroblock buffer must exceed 2 KiB, is {}", mb.size);
+        assert!(
+            mb.size > 2048,
+            "macroblock buffer must exceed 2 KiB, is {}",
+            mb.size
+        );
         // and it is accessed many times (row + column passes), unlike a pure stream
         assert!(run.trace.count_for(mb.id) as u64 > mb.size / 2);
     }

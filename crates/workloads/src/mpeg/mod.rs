@@ -46,7 +46,12 @@ pub fn run_combined(config: &MpegConfig) -> WorkloadRun {
 
 /// Returns the three phase traces (dequant, idct, plus) with a shared symbol table, for
 /// dynamic-layout experiments that remap columns between procedures.
-pub fn run_phases(config: &MpegConfig) -> (Vec<(String, ccache_trace::Trace)>, ccache_trace::SymbolTable) {
+pub fn run_phases(
+    config: &MpegConfig,
+) -> (
+    Vec<(String, ccache_trace::Trace)>,
+    ccache_trace::SymbolTable,
+) {
     let mut rec = ccache_trace::TraceRecorder::new();
     let start0 = rec.len();
     dequant::record_dequant(&mut rec, config);

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --example dynamic_remap`
 
-use column_caching::layout::{assign_columns, conflict_graph_from_trace, LayoutOptions, WeightOptions};
+use column_caching::layout::{
+    assign_columns, conflict_graph_from_trace, LayoutOptions, WeightOptions,
+};
 use column_caching::prelude::*;
 use column_caching::workloads::kernels::{run_fir, run_histogram, FirConfig, HistogramConfig};
 

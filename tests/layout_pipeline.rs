@@ -82,8 +82,7 @@ fn static_analysis_agrees_with_profile_on_a_simple_loop_nest() {
         rec.read(z, (i % 32) * 8, 8);
     }
     let (trace, symbols) = rec.finish();
-    let (profile_graph, _) =
-        conflict_graph_from_trace(&trace, &symbols, &WeightOptions::default());
+    let (profile_graph, _) = conflict_graph_from_trace(&trace, &symbols, &WeightOptions::default());
 
     let ir = ProgramIr::from_stmts(vec![
         Stmt::repeat(32, vec![Stmt::read(x, 1), Stmt::write(y, 1)]),

@@ -3,10 +3,11 @@
 //! These complement the per-crate unit tests: each property is stated over randomly
 //! generated configurations, traces or graphs and exercises the public APIs end to end.
 
+use column_caching::core::engine::ReplayEngine;
 use column_caching::layout::coloring::{color_count, greedy_coloring, is_proper, minimum_coloring};
 use column_caching::layout::{assign_columns, ConflictGraph, LayoutOptions, Vertex};
 use column_caching::prelude::*;
-use column_caching::sim::{CacheConfig, SystemConfig};
+use column_caching::sim::{build_backend, BackendKind, CacheConfig, SystemConfig, Tint};
 use column_caching::trace::Interval;
 use column_caching::workloads::gzipsim::{compress, decompress, generate_input, GzipConfig};
 use proptest::prelude::*;
@@ -16,8 +17,7 @@ use proptest::prelude::*;
 // ---------------------------------------------------------------------------------------
 
 fn arbitrary_mask(columns: usize) -> impl Strategy<Value = ColumnMask> {
-    prop::collection::vec(0..columns, 1..=columns)
-        .prop_map(|cols| ColumnMask::from_columns(cols.into_iter()))
+    prop::collection::vec(0..columns, 1..=columns).prop_map(ColumnMask::from_columns)
 }
 
 proptest! {
@@ -242,5 +242,104 @@ proptest! {
             prop_assert_eq!(ev.addr, region.base + off);
             prop_assert!(region.contains(ev.addr));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Memory-backend invariants
+// ---------------------------------------------------------------------------------------
+
+/// Builds a trace from raw `(address, is_write)` pairs.
+fn trace_of(refs: &[(u64, bool)]) -> Trace {
+    refs.iter()
+        .map(|&(addr, w)| {
+            if w {
+                MemAccess::write(addr, 4)
+            } else {
+                MemAccess::read(addr, 4)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A column cache whose every tint resolves to the all-columns mask is
+    /// indistinguishable from the plain set-associative baseline: identical hit/miss
+    /// counters, cycle totals and memory traffic on any trace — even when tint control
+    /// operations are interleaved (the baseline ignores them; the all-columns masks make
+    /// them no-ops on the column cache too).
+    #[test]
+    fn all_columns_column_cache_equals_set_assoc_baseline(
+        refs in prop::collection::vec((0u64..0x20_000, any::<bool>()), 1..500),
+        tinted_pages in prop::collection::vec((0u64..32, 1u32..4), 0..6),
+    ) {
+        let config = SystemConfig { page_size: 256, ..SystemConfig::default() };
+        let columns = config.cache.columns();
+        let mut column = build_backend(BackendKind::ColumnCache, config).unwrap();
+        let mut baseline = build_backend(BackendKind::SetAssociative, config).unwrap();
+
+        for backend in [&mut column, &mut baseline] {
+            for &(page, tint) in &tinted_pages {
+                backend.define_tint(Tint(tint), ColumnMask::all(columns)).unwrap();
+                backend.tint_range(page * 256..(page + 1) * 256, Tint(tint));
+            }
+        }
+
+        let refs_flat: Vec<(u64, bool)> = refs;
+        let column_cycles = column.run_batch(&refs_flat);
+        let baseline_cycles = baseline.run_batch(&refs_flat);
+
+        prop_assert_eq!(column_cycles, baseline_cycles);
+        prop_assert_eq!(column.cache_stats(), baseline.cache_stats());
+        // Control work differs (the baseline ignores tint ops), so compare the datapath
+        // statistics field by field rather than whole structs.
+        prop_assert_eq!(column.stats().references, baseline.stats().references);
+        prop_assert_eq!(column.stats().memory_cycles, baseline.stats().memory_cycles);
+        prop_assert_eq!(column.stats().uncached_accesses, baseline.stats().uncached_accesses);
+    }
+
+    /// `snapshot()` / `reset()` round-trips to bit-identical results: replaying the same
+    /// trace after a reset reproduces the exact statistics of the first replay, for any
+    /// programmed tint state.
+    #[test]
+    fn engine_snapshot_reset_round_trips_to_identical_stats(
+        refs in prop::collection::vec((0u64..0x20_000, any::<bool>()), 1..400),
+        mask in arbitrary_mask(4),
+        tinted_span in 1u64..0x4000,
+    ) {
+        let config = SystemConfig { page_size: 256, ..SystemConfig::default() };
+        let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config).unwrap();
+        engine.backend_mut().define_tint(Tint(1), mask).unwrap();
+        engine.backend_mut().tint_range(0..tinted_span, Tint(1));
+        engine.snapshot();
+
+        let trace = trace_of(&refs);
+        let first = engine.replay("round-trip", &trace);
+        engine.reset();
+        let second = engine.replay("round-trip", &trace);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Batched replay is an optimisation, not a semantic change: any batch size produces
+    /// the same result as per-reference replay through `run_on`.
+    #[test]
+    fn batched_replay_equals_per_reference_replay(
+        refs in prop::collection::vec((0u64..0x10_000, any::<bool>()), 1..400),
+        batch in 1usize..512,
+    ) {
+        let config = SystemConfig { page_size: 256, ..SystemConfig::default() };
+        let trace = trace_of(&refs);
+
+        let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config).unwrap();
+        engine.set_batch_size(batch);
+        let batched = engine.replay("replay", &trace);
+
+        let mut reference = build_backend(BackendKind::ColumnCache, config).unwrap();
+        let per_ref = column_caching::core::runner::run_on(
+            "replay", reference.as_mut(), &trace,
+        ).unwrap();
+        prop_assert_eq!(batched, per_ref);
     }
 }

@@ -224,7 +224,9 @@ impl Criterion {
         f(&mut b);
         match b.result {
             Some(s) => {
-                let rate = throughput.map(|t| describe_rate(t, s.median)).unwrap_or_default();
+                let rate = throughput
+                    .map(|t| describe_rate(t, s.median))
+                    .unwrap_or_default();
                 println!(
                     "{id:<50} min {:>12} median {:>12} mean {:>12}{rate}",
                     fmt_duration(s.min),
@@ -345,7 +347,11 @@ mod tests {
         g.sample_size(3)
             .throughput(Throughput::Elements(4))
             .bench_function("batched", |b| {
-                b.iter_batched(|| vec![1u64, 2, 3, 4], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+                b.iter_batched(
+                    || vec![1u64, 2, 3, 4],
+                    |v| v.iter().sum::<u64>(),
+                    BatchSize::LargeInput,
+                )
             });
         g.finish();
     }

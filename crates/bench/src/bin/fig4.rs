@@ -1,94 +1,10 @@
-//! Regenerates Figure 4: cycle count of the MPEG routines versus the scratchpad/cache
-//! partition of a 2 KB, 4-column on-chip memory, plus the combined-application comparison
-//! against a dynamically remapped column cache.
+//! Thin shim over `ccache fig4`: regenerates Figure 4 (cycle count of the MPEG routines
+//! versus the scratchpad/cache partition, plus the dynamic-remap comparison).
 //!
-//! Usage:
-//!   cargo run --release -p ccache-bench --bin fig4                 # all panels
-//!   cargo run --release -p ccache-bench --bin fig4 -- --routine dequant
-//!   cargo run --release -p ccache-bench --bin fig4 -- --quick      # reduced working sets
-//!   cargo run --release -p ccache-bench --bin fig4 -- --json out.json
+//! `cargo run --release -p ccache-bench --bin fig4 -- --quick --json out.json` is
+//! equivalent to `cargo run --release -p ccache-cli -- fig4 --quick --json out.json`
+//! and produces byte-identical artefacts; see `ccache fig4 --help` for every option.
 
-use ccache_bench::{figure4_config, Scale};
-use ccache_core::dynamic::{run_dynamic, Figure4dResult};
-use ccache_core::partition::{partition_sweep, PartitionSweep};
-use ccache_core::report::{figure4d_table, partition_table, SweepReport};
-use ccache_workloads::mpeg::{run_combined, run_dequant, run_idct, run_phases, run_plus};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(args.clone());
-    let routine = args
-        .iter()
-        .position(|a| a == "--routine")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "all".to_owned());
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-
-    let mpeg = scale.mpeg();
-    let config = figure4_config();
-    println!(
-        "Figure 4 — on-chip memory: {} bytes, {} columns, {}-byte lines, {:?} scale\n",
-        config.capacity_bytes, config.columns, config.line_size, scale
-    );
-
-    let mut sweeps: Vec<PartitionSweep> = Vec::new();
-    let mut fig4d: Option<Figure4dResult> = None;
-
-    let want = |name: &str| routine == "all" || routine == name;
-
-    if want("dequant") {
-        sweeps.push(partition_sweep(&run_dequant(&mpeg), &config)?);
-    }
-    if want("plus") {
-        sweeps.push(partition_sweep(&run_plus(&mpeg), &config)?);
-    }
-    if want("idct") {
-        sweeps.push(partition_sweep(&run_idct(&mpeg), &config)?);
-    }
-    for sweep in &sweeps {
-        println!("{}", partition_table(sweep));
-        println!(
-            "-> optimum for {}: {} cache columns / {} scratchpad columns\n",
-            sweep.name,
-            sweep.best().cache_columns,
-            sweep.best().scratchpad_columns
-        );
-    }
-
-    if want("combined") {
-        let combined = run_combined(&mpeg);
-        let static_sweep = partition_sweep(&combined, &config)?;
-        println!("{}", partition_table(&static_sweep));
-        let (phases, symbols) = run_phases(&mpeg);
-        let dynamic = run_dynamic(&phases, &symbols, &config)?;
-        let result = Figure4dResult {
-            static_cycles: static_sweep
-                .points
-                .iter()
-                .map(|p| (p.cache_columns, p.cycles))
-                .collect(),
-            column_cache_cycles: dynamic.cycles,
-            column_cache_control_cycles: dynamic.control_cycles,
-        };
-        println!("{}", figure4d_table(&result));
-        sweeps.push(static_sweep);
-        fig4d = Some(result);
-    }
-
-    if let Some(path) = json_path {
-        let payload = SweepReport {
-            figure: "4".to_owned(),
-            config,
-            sweeps,
-            figure4d: fig4d,
-        };
-        std::fs::write(&path, payload.to_json_string())?;
-        println!("wrote {path}");
-    }
-    Ok(())
+fn main() -> std::process::ExitCode {
+    ccache_cli::main_with(Some("fig4"))
 }

@@ -1,57 +1,10 @@
-//! Regenerates Figure 5: CPI of gzip job A versus the context-switch quantum under
-//! round-robin multitasking with three gzip jobs, for a standard cache and a mapped column
-//! cache, at 16 KiB and 128 KiB.
+//! Thin shim over `ccache fig5`: regenerates Figure 5 (CPI of gzip job A versus the
+//! context-switch quantum, shared versus mapped, at 16 KiB and 128 KiB).
 //!
-//! Usage:
-//!   cargo run --release -p ccache-bench --bin fig5
-//!   cargo run --release -p ccache-bench --bin fig5 -- --quick
-//!   cargo run --release -p ccache-bench --bin fig5 -- --json out.json
+//! `cargo run --release -p ccache-bench --bin fig5 -- --quick --json out.json` is
+//! equivalent to `cargo run --release -p ccache-cli -- fig5 --quick --json out.json`
+//! and produces byte-identical artefacts; see `ccache fig5 --help` for every option.
 
-use ccache_bench::{figure5_configs, figure5_jobs, Scale};
-use ccache_core::multitask::{quantum_sweep, SharingPolicy};
-use ccache_core::report::{quantum_table, to_json};
-use ccache_json::{Json, ToJson};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::from_args(args.clone());
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-
-    let jobs = figure5_jobs(scale);
-    println!("Figure 5 — three gzip jobs, round-robin, {:?} scale", scale);
-    for j in &jobs {
-        println!("  {}: {} references", j.name, j.trace.len());
-    }
-    println!();
-
-    let quanta = scale.quanta();
-    let mut series = Vec::new();
-    for (label, config) in figure5_configs() {
-        series.push(quantum_sweep(
-            &jobs,
-            &quanta,
-            &config,
-            SharingPolicy::Shared,
-            label,
-        )?);
-        series.push(quantum_sweep(
-            &jobs,
-            &quanta,
-            &config,
-            SharingPolicy::Mapped,
-            &format!("{label} mapped"),
-        )?);
-    }
-    println!("{}", quantum_table(&series));
-
-    if let Some(path) = json_path {
-        let payload = Json::obj([("figure", "5".to_json()), ("series", series.to_json())]);
-        std::fs::write(&path, to_json(&payload))?;
-        println!("wrote {path}");
-    }
-    Ok(())
+fn main() -> std::process::ExitCode {
+    ccache_cli::main_with(Some("fig5"))
 }

@@ -1,0 +1,179 @@
+//! A small shared argument parser with uniform error messages.
+//!
+//! The seed's three figure binaries each hand-rolled `position(..)`/`get(i + 1)` flag
+//! scanning with three different behaviours on unknown flags (all of them silent). Every
+//! `ccache` subcommand now parses through [`ArgParser`], which:
+//!
+//! * supports boolean flags (`--quick`/`-q`), valued flags (`--routine dequant`) and
+//!   positionals, consumed in any order;
+//! * reports *every* unrecognised argument with one message shape:
+//!   `unknown flag '--foo' for 'ccache fig4' (try 'ccache fig4 --help')`;
+//! * reports missing and unparsable values with the flag name and offending text.
+
+use crate::error::CliError;
+use std::str::FromStr;
+
+/// Argument scanner for one subcommand invocation.
+#[derive(Debug)]
+pub struct ArgParser {
+    /// Full command name for error messages, e.g. `"fig4"` or `"trace record"`.
+    cmd: String,
+    /// Arguments not yet consumed; taken arguments become `None`.
+    args: Vec<Option<String>>,
+}
+
+impl ArgParser {
+    /// Creates a parser over the arguments that follow the subcommand name.
+    pub fn new(cmd: impl Into<String>, args: Vec<String>) -> Self {
+        ArgParser {
+            cmd: cmd.into(),
+            args: args.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// The full command name (used in error and help text).
+    pub fn command(&self) -> &str {
+        &self.cmd
+    }
+
+    /// Consumes a boolean flag; returns `true` if any of `names` appeared.
+    pub fn flag(&mut self, names: &[&str]) -> bool {
+        let mut found = false;
+        for slot in &mut self.args {
+            if matches!(slot.as_deref(), Some(a) if names.contains(&a)) {
+                *slot = None;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Consumes `name VALUE`; returns the value if the flag appeared.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the flag is present without a following value.
+    pub fn value(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        let Some(at) = self.args.iter().position(|a| a.as_deref() == Some(name)) else {
+            return Ok(None);
+        };
+        self.args[at] = None;
+        match self.args.get_mut(at + 1).and_then(Option::take) {
+            Some(v) => Ok(Some(v)),
+            None => Err(self.usage(format!("flag '{name}' expects a value"))),
+        }
+    }
+
+    /// Consumes `name VALUE` and parses the value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is missing or does not parse as `T`.
+    pub fn parsed<T: FromStr>(&mut self, name: &str) -> Result<Option<T>, CliError> {
+        match self.value(name)? {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| self.usage(format!("invalid value '{raw}' for '{name}'"))),
+        }
+    }
+
+    /// Consumes the next positional (non-flag) argument, or errors naming what was
+    /// expected.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no positional argument remains.
+    pub fn positional(&mut self, what: &str) -> Result<String, CliError> {
+        match self.next_positional() {
+            Some(v) => Ok(v),
+            None => Err(self.usage(format!("missing {what}"))),
+        }
+    }
+
+    /// Consumes the next positional (non-flag) argument if one remains.
+    pub fn next_positional(&mut self) -> Option<String> {
+        self.args
+            .iter_mut()
+            .find(|a| matches!(a.as_deref(), Some(s) if !s.starts_with('-')))
+            .and_then(Option::take)
+    }
+
+    /// Verifies that every argument was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with an `unknown flag` / `unexpected argument` usage error naming the first
+    /// leftover.
+    pub fn finish(self) -> Result<(), CliError> {
+        match self.args.iter().flatten().next() {
+            None => Ok(()),
+            Some(arg) if arg.starts_with('-') => Err(self.usage(format!("unknown flag '{arg}'"))),
+            Some(arg) => Err(self.usage(format!("unexpected argument '{arg}'"))),
+        }
+    }
+
+    /// Builds a usage error for this command: `<msg> for 'ccache <cmd>' (try ... --help)`.
+    pub fn usage(&self, msg: impl std::fmt::Display) -> CliError {
+        CliError::usage(format!(
+            "{msg} for 'ccache {cmd}' (try 'ccache {cmd} --help')",
+            cmd = self.cmd
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser(args: &[&str]) -> ArgParser {
+        ArgParser::new("fig4", args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_values_and_positionals_parse_in_any_order() {
+        let mut p = parser(&["--routine", "idct", "in.cct", "--quick"]);
+        assert!(p.flag(&["--quick", "-q"]));
+        assert_eq!(p.value("--routine").unwrap().as_deref(), Some("idct"));
+        assert_eq!(p.positional("trace file").unwrap(), "in.cct");
+        p.finish().unwrap();
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_uniform_message() {
+        let p = parser(&["--bogus"]);
+        let err = p.finish().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown flag '--bogus' for 'ccache fig4' (try 'ccache fig4 --help')"
+        );
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn unexpected_positionals_are_rejected() {
+        let p = parser(&["stray"]);
+        let err = p.finish().unwrap_err();
+        assert!(err.to_string().contains("unexpected argument 'stray'"));
+    }
+
+    #[test]
+    fn missing_and_invalid_values_are_reported() {
+        let mut p = parser(&["--routine"]);
+        let err = p.value("--routine").unwrap_err();
+        assert!(err.to_string().contains("expects a value"));
+
+        let mut p = parser(&["--columns", "four"]);
+        let err = p.parsed::<usize>("--columns").unwrap_err();
+        assert!(err.to_string().contains("invalid value 'four'"));
+    }
+
+    #[test]
+    fn value_does_not_swallow_flags_as_positionals() {
+        let mut p = parser(&["--quick", "file.cct"]);
+        assert_eq!(p.next_positional().as_deref(), Some("file.cct"));
+        assert!(p.flag(&["--quick"]));
+        p.finish().unwrap();
+    }
+}

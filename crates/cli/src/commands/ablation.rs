@@ -1,0 +1,173 @@
+//! `ccache ablation` — sensitivity studies beyond the paper's figures.
+
+use crate::args::ArgParser;
+use crate::error::CliError;
+use crate::scale::Scale;
+use ccache_core::partition::{partition_sweep, PartitionConfig};
+use ccache_core::runner::{run_trace, CacheMapping, RegionMapping};
+use ccache_layout::weights::conflict_graph_from_trace;
+use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
+use ccache_sim::{
+    CacheConfig, ColumnMask, LatencyConfig, MemorySystem, ReplacementPolicy, SystemConfig, Tint,
+};
+use ccache_workloads::mpeg::{run_combined, run_idct};
+
+/// Help text for `ccache ablation`.
+pub const USAGE: &str = "\
+usage: ccache ablation [options]
+
+Ablation studies beyond the paper's figures:
+  1. replacement-policy sensitivity of the column cache;
+  2. column-count sensitivity (2/4/8/16 columns at fixed capacity);
+  3. the layout algorithm versus a naive round-robin variable assignment;
+  4. the cost of re-tinting pages versus remapping tints (the Figure 3 motivation).
+
+options:
+  --quick, -q       reduced working sets for smoke tests
+  --help, -h        show this help
+";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors or invalid configurations.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("ablation", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let scale = Scale::from_parser(&mut p);
+    p.finish()?;
+    let mpeg = scale.mpeg();
+
+    // ----------------------------------------------------------------- replacement policy
+    println!("## Ablation 1: replacement-policy sensitivity (idct, 2 KB / 4 columns)\n");
+    let idct = run_idct(&mpeg);
+    println!("{:>12} {:>12} {:>10}", "policy", "cycles", "miss rate");
+    for policy in ReplacementPolicy::ALL {
+        let cache = CacheConfig::builder()
+            .capacity_bytes(2048)
+            .columns(4)
+            .line_size(32)
+            .replacement(policy)
+            .build()?;
+        let cfg = SystemConfig {
+            cache,
+            latency: LatencyConfig::default(),
+            page_size: 128,
+            tlb_entries: 64,
+        };
+        let result = run_trace(&policy.to_string(), cfg, &CacheMapping::new(), &idct.trace)?;
+        println!(
+            "{:>12} {:>12} {:>9.1}%",
+            policy.to_string(),
+            result.total_cycles(),
+            result.miss_rate() * 100.0
+        );
+    }
+
+    // --------------------------------------------------------------------- column count
+    println!("\n## Ablation 2: column-count sensitivity (combined MPEG app, 2 KB total)\n");
+    let combined = run_combined(&mpeg);
+    println!("{:>8} {:>14} {:>12}", "columns", "best partition", "cycles");
+    for columns in [2usize, 4, 8, 16] {
+        let cfg = PartitionConfig {
+            columns,
+            ..PartitionConfig::default()
+        };
+        let sweep = partition_sweep(&combined, &cfg)?;
+        let best = sweep.best();
+        println!(
+            "{:>8} {:>14} {:>12}",
+            columns,
+            format!("{} cache cols", best.cache_columns),
+            best.cycles
+        );
+    }
+
+    // ------------------------------------------------------------- layout vs naive layout
+    println!("\n## Ablation 3: conflict-graph layout vs. naive round-robin assignment (idct)\n");
+    let weight_opts = WeightOptions::default();
+    let (graph, units) = conflict_graph_from_trace(&idct.trace, &idct.symbols, &weight_opts);
+    let layout = assign_columns(&graph, &LayoutOptions::new(4, 512))?;
+    let sys_cfg = SystemConfig {
+        page_size: 128,
+        ..SystemConfig::default()
+    };
+    let informed = {
+        let mapping = CacheMapping::from_assignment(&layout, &units, &idct.symbols, &[]);
+        run_trace("layout", sys_cfg, &mapping, &idct.trace)?
+    };
+    let naive = {
+        let mut mapping = CacheMapping::new();
+        for (i, unit) in units.iter().enumerate() {
+            if let Some(region) = idct.symbols.region(unit.var) {
+                mapping.map(
+                    region.base + unit.offset,
+                    unit.size,
+                    RegionMapping::Columns {
+                        mask: ColumnMask::single(i % 4),
+                    },
+                );
+            }
+        }
+        run_trace("naive", sys_cfg, &mapping, &idct.trace)?
+    };
+    let shared = run_trace("shared", sys_cfg, &CacheMapping::new(), &idct.trace)?;
+    println!("{:>22} {:>12} {:>10}", "assignment", "cycles", "misses");
+    for r in [&shared, &naive, &informed] {
+        println!("{:>22} {:>12} {:>10}", r.name, r.total_cycles(), r.misses);
+    }
+    println!(
+        "layout cost W = {} ({} merges, optimal = {})",
+        layout.cost, layout.merges, layout.optimal
+    );
+
+    // --------------------------------------------------- tint remap vs page re-tint cost
+    println!("\n## Ablation 4: remapping a tint vs. re-tinting pages (Figure 3 motivation)\n");
+    let mut system = MemorySystem::with_default_cache();
+    // 64 pages of 1 KiB mapped to the default tint.
+    for p in 0..64u64 {
+        system.access(p * 1024, false);
+    }
+    let before_writes = system.page_table().entry_writes;
+    let before_flushes = system.stats().tlb_flushes;
+    // (a) remap one tint: a single tint-table write, no page-table or TLB activity.
+    system.define_tint(Tint::DEFAULT, ColumnMask::from_columns([0, 1, 2]))?;
+    let remap_writes = system.page_table().entry_writes - before_writes;
+    let remap_flushes = system.stats().tlb_flushes - before_flushes;
+    // (b) re-tint the same 64 pages: one page-table write and one TLB flush per page.
+    system.define_tint(Tint(5), ColumnMask::single(3))?;
+    let retinted = system.tint_range(0..64 * 1024, Tint(5));
+    let retint_writes = system.page_table().entry_writes - before_writes - remap_writes;
+    let retint_flushes = system.stats().tlb_flushes - before_flushes - remap_flushes;
+    println!(
+        "{:>24} {:>18} {:>12}",
+        "operation", "page-table writes", "TLB flushes"
+    );
+    println!(
+        "{:>24} {:>18} {:>12}",
+        "remap tint", remap_writes, remap_flushes
+    );
+    println!(
+        "{:>24} {:>18} {:>12}",
+        format!("re-tint {retinted} pages"),
+        retint_writes,
+        retint_flushes
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_flags_are_usage_errors() {
+        let err = run(vec!["--policy".to_owned(), "lru".to_owned()]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag '--policy'"));
+        assert_eq!(err.exit_code(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! `ccache fig4` — the Figure 4 partition sweep (and Figure 4(d) dynamic comparison).
+
+use crate::args::ArgParser;
+use crate::error::CliError;
+use crate::output::{csv_field, emit, markdown_table, OutputFormat, Render};
+use crate::scale::{figure4_config, Scale};
+use ccache_core::dynamic::{run_dynamic, Figure4dResult};
+use ccache_core::partition::{partition_sweep, PartitionSweep};
+use ccache_core::report::{figure4d_table, partition_table, SweepReport};
+use ccache_workloads::mpeg::{run_combined, run_dequant, run_idct, run_phases, run_plus};
+use std::fmt::Write as _;
+
+/// Help text for `ccache fig4`.
+pub const USAGE: &str = "\
+usage: ccache fig4 [options]
+
+Reproduces Figure 4: cycle count of the MPEG routines versus the scratchpad/cache
+partition of a 2 KB, 4-column on-chip memory, plus the combined-application comparison
+against a dynamically remapped column cache.
+
+options:
+  --routine NAME    dequant | plus | idct | combined | all (default: all)
+  --quick, -q       reduced working sets for smoke tests
+  --json FILE       write the JSON artefact (same as --format json --out FILE)
+  --format FMT      json | csv | markdown (default: json)
+  --out FILE        write the report in FMT to FILE instead of stdout
+  --help, -h        show this help
+";
+
+const ROUTINES: [&str; 5] = ["dequant", "plus", "idct", "combined", "all"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors, invalid configurations or file-write failures.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("fig4", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let scale = Scale::from_parser(&mut p);
+    let routine = p.value("--routine")?.unwrap_or_else(|| "all".to_owned());
+    if !ROUTINES.contains(&routine.as_str()) {
+        return Err(p.usage(format!(
+            "invalid value '{routine}' for '--routine' (expected dequant, plus, idct, combined or all)"
+        )));
+    }
+    let json_path = p.value("--json")?;
+    let format_raw = p.value("--format")?;
+    let out = p.value("--out")?;
+    let format = match &format_raw {
+        Some(raw) => OutputFormat::parse(raw, &p)?,
+        None => OutputFormat::Json,
+    };
+    p.finish()?;
+
+    let mpeg = scale.mpeg();
+    let config = figure4_config();
+    println!(
+        "Figure 4 — on-chip memory: {} bytes, {} columns, {}-byte lines, {:?} scale\n",
+        config.capacity_bytes, config.columns, config.line_size, scale
+    );
+
+    let mut sweeps: Vec<PartitionSweep> = Vec::new();
+    let mut fig4d: Option<Figure4dResult> = None;
+
+    let want = |name: &str| routine == "all" || routine == name;
+
+    if want("dequant") {
+        sweeps.push(partition_sweep(&run_dequant(&mpeg), &config)?);
+    }
+    if want("plus") {
+        sweeps.push(partition_sweep(&run_plus(&mpeg), &config)?);
+    }
+    if want("idct") {
+        sweeps.push(partition_sweep(&run_idct(&mpeg), &config)?);
+    }
+    for sweep in &sweeps {
+        println!("{}", partition_table(sweep));
+        println!(
+            "-> optimum for {}: {} cache columns / {} scratchpad columns\n",
+            sweep.name,
+            sweep.best().cache_columns,
+            sweep.best().scratchpad_columns
+        );
+    }
+
+    if want("combined") {
+        let combined = run_combined(&mpeg);
+        let static_sweep = partition_sweep(&combined, &config)?;
+        println!("{}", partition_table(&static_sweep));
+        let (phases, symbols) = run_phases(&mpeg);
+        let dynamic = run_dynamic(&phases, &symbols, &config)?;
+        let result = Figure4dResult {
+            static_cycles: static_sweep
+                .points
+                .iter()
+                .map(|p| (p.cache_columns, p.cycles))
+                .collect(),
+            column_cache_cycles: dynamic.cycles,
+            column_cache_control_cycles: dynamic.control_cycles,
+        };
+        println!("{}", figure4d_table(&result));
+        sweeps.push(static_sweep);
+        fig4d = Some(result);
+    }
+
+    let payload = SweepReport {
+        figure: "4".to_owned(),
+        config,
+        sweeps,
+        figure4d: fig4d,
+    };
+    if let Some(path) = json_path {
+        std::fs::write(&path, payload.to_json_string())?;
+        println!("wrote {path}");
+    }
+    if out.is_some() || format_raw.is_some() {
+        emit(&payload, format, out.as_deref())?;
+    }
+    Ok(())
+}
+
+impl Render for SweepReport {
+    fn to_json_text(&self) -> String {
+        self.to_json_string()
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out =
+            String::from("series,cache_columns,scratchpad_columns,cycles,misses,hit_rate\n");
+        for sweep in &self.sweeps {
+            for p in &sweep.points {
+                let hit_rate = if p.result.references == 0 {
+                    0.0
+                } else {
+                    p.result.hits as f64 / p.result.references as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{:.6}",
+                    csv_field(&sweep.name),
+                    p.cache_columns,
+                    p.scratchpad_columns,
+                    p.cycles,
+                    p.result.misses,
+                    hit_rate
+                );
+            }
+        }
+        if let Some(d) = &self.figure4d {
+            let _ = writeln!(out, "column-cache-dynamic,,,{},,", d.column_cache_cycles);
+            let _ = writeln!(
+                out,
+                "column-cache-dynamic+control,,,{},,",
+                d.column_cache_cycles + d.column_cache_control_cycles
+            );
+        }
+        out
+    }
+
+    fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## Figure {} — {} B, {} columns, {} B lines\n\n",
+            self.figure, self.config.capacity_bytes, self.config.columns, self.config.line_size
+        );
+        for sweep in &self.sweeps {
+            let _ = writeln!(out, "### {}\n", sweep.name);
+            let rows: Vec<Vec<String>> = sweep
+                .points
+                .iter()
+                .map(|p| {
+                    let hit_rate = if p.result.references == 0 {
+                        0.0
+                    } else {
+                        p.result.hits as f64 / p.result.references as f64
+                    };
+                    vec![
+                        p.cache_columns.to_string(),
+                        p.scratchpad_columns.to_string(),
+                        p.cycles.to_string(),
+                        p.result.misses.to_string(),
+                        format!("{:.1}%", hit_rate * 100.0),
+                    ]
+                })
+                .collect();
+            out.push_str(&markdown_table(
+                &[
+                    "cache columns",
+                    "scratchpad columns",
+                    "cycles",
+                    "misses",
+                    "hit rate",
+                ],
+                &rows,
+            ));
+            out.push('\n');
+        }
+        if let Some(d) = &self.figure4d {
+            out.push_str("### Static partitions vs. dynamically remapped column cache\n\n");
+            let mut rows: Vec<Vec<String>> = d
+                .static_cycles
+                .iter()
+                .map(|(cols, cycles)| vec![format!("static cache={cols}"), cycles.to_string()])
+                .collect();
+            rows.push(vec![
+                "column cache (dynamic)".to_owned(),
+                d.column_cache_cycles.to_string(),
+            ]);
+            rows.push(vec![
+                "column cache + remap overhead".to_owned(),
+                (d.column_cache_cycles + d.column_cache_control_cycles).to_string(),
+            ]);
+            out.push_str(&markdown_table(&["configuration", "cycles"], &rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccache_core::partition::PartitionConfig;
+
+    fn sample_report() -> SweepReport {
+        SweepReport {
+            figure: "4".to_owned(),
+            config: PartitionConfig::default(),
+            sweeps: Vec::new(),
+            figure4d: Some(Figure4dResult {
+                static_cycles: vec![(0, 1000), (4, 800)],
+                column_cache_cycles: 700,
+                column_cache_control_cycles: 50,
+            }),
+        }
+    }
+
+    #[test]
+    fn csv_and_markdown_cover_the_dynamic_comparison() {
+        let r = sample_report();
+        let csv = r.to_csv();
+        assert!(csv.starts_with("series,cache_columns"));
+        assert!(csv.contains("column-cache-dynamic,,,700"));
+        let md = r.to_markdown();
+        assert!(md.contains("| configuration | cycles |"));
+        assert!(md.contains("column cache (dynamic)"));
+    }
+
+    #[test]
+    fn json_text_matches_the_legacy_artefact() {
+        let r = sample_report();
+        assert_eq!(r.to_json_text(), r.to_json_string());
+    }
+
+    #[test]
+    fn unknown_routines_are_usage_errors() {
+        let err = run(vec!["--routine".to_owned(), "mp3".to_owned()]).unwrap_err();
+        assert!(err.to_string().contains("invalid value 'mp3'"));
+        assert_eq!(err.exit_code(), 2);
+    }
+}

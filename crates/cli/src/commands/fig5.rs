@@ -1,0 +1,180 @@
+//! `ccache fig5` — the Figure 5 multitasking CPI-versus-quantum sweep.
+
+use crate::args::ArgParser;
+use crate::error::CliError;
+use crate::output::{csv_field, emit, markdown_table, OutputFormat, Render};
+use crate::scale::{figure5_configs, figure5_jobs, Scale};
+use ccache_core::multitask::{quantum_sweep, QuantumSeries, SharingPolicy};
+use ccache_core::report::quantum_table;
+use ccache_json::{Json, ToJson};
+use std::fmt::Write as _;
+
+/// Help text for `ccache fig5`.
+pub const USAGE: &str = "\
+usage: ccache fig5 [options]
+
+Reproduces Figure 5: CPI of gzip job A versus the context-switch quantum under
+round-robin multitasking with three gzip jobs, for a standard cache and a mapped column
+cache, at 16 KiB and 128 KiB.
+
+options:
+  --quick, -q       reduced working sets for smoke tests
+  --json FILE       write the JSON artefact (same as --format json --out FILE)
+  --format FMT      json | csv | markdown (default: json)
+  --out FILE        write the report in FMT to FILE instead of stdout
+  --help, -h        show this help
+";
+
+/// The Figure 5 report: every (configuration × sharing policy) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Report {
+    /// The CPI-versus-quantum series, in run order.
+    pub series: Vec<QuantumSeries>,
+}
+
+impl Fig5Report {
+    /// The JSON document (layout identical to the legacy `fig5 --json` artefact).
+    pub fn to_json(&self) -> Json {
+        Json::obj([("figure", "5".to_json()), ("series", self.series.to_json())])
+    }
+}
+
+impl Render for Fig5Report {
+    fn to_json_text(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("series,quantum,cpi\n");
+        for s in &self.series {
+            for &(q, cpi) in &s.points {
+                let _ = writeln!(out, "{},{},{:.6}", csv_field(&s.label), q, cpi);
+            }
+        }
+        out
+    }
+
+    fn to_markdown(&self) -> String {
+        let mut out = String::from("## Figure 5 — CPI of job A vs. context-switch quantum\n\n");
+        let quanta: Vec<usize> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(q, _)| q).collect())
+            .unwrap_or_default();
+        let mut header: Vec<&str> = vec!["quantum"];
+        header.extend(self.series.iter().map(|s| s.label.as_str()));
+        let rows: Vec<Vec<String>> = quanta
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let mut row = vec![q.to_string()];
+                for s in &self.series {
+                    row.push(match s.points.get(i) {
+                        Some(&(_, cpi)) => format!("{cpi:.3}"),
+                        None => "-".to_owned(),
+                    });
+                }
+                row
+            })
+            .collect();
+        out.push_str(&markdown_table(&header, &rows));
+        out
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors, invalid configurations or file-write failures.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("fig5", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let scale = Scale::from_parser(&mut p);
+    let json_path = p.value("--json")?;
+    let format_raw = p.value("--format")?;
+    let out = p.value("--out")?;
+    let format = match &format_raw {
+        Some(raw) => OutputFormat::parse(raw, &p)?,
+        None => OutputFormat::Json,
+    };
+    p.finish()?;
+
+    let jobs = figure5_jobs(scale);
+    println!("Figure 5 — three gzip jobs, round-robin, {:?} scale", scale);
+    for j in &jobs {
+        println!("  {}: {} references", j.name, j.trace.len());
+    }
+    println!();
+
+    let quanta = scale.quanta();
+    let mut series = Vec::new();
+    for (label, config) in figure5_configs() {
+        series.push(quantum_sweep(
+            &jobs,
+            &quanta,
+            &config,
+            SharingPolicy::Shared,
+            label,
+        )?);
+        series.push(quantum_sweep(
+            &jobs,
+            &quanta,
+            &config,
+            SharingPolicy::Mapped,
+            &format!("{label} mapped"),
+        )?);
+    }
+    println!("{}", quantum_table(&series));
+
+    let report = Fig5Report { series };
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json_text())?;
+        println!("wrote {path}");
+    }
+    if out.is_some() || format_raw.is_some() {
+        emit(&report, format, out.as_deref())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fig5Report {
+        Fig5Report {
+            series: vec![
+                QuantumSeries {
+                    label: "gzip.16k".into(),
+                    points: vec![(1, 2.8), (4, 2.5)],
+                },
+                QuantumSeries {
+                    label: "gzip.16k mapped".into(),
+                    points: vec![(1, 1.9), (4, 1.9)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_layout_matches_the_legacy_artefact() {
+        let r = sample();
+        let legacy = Json::obj([("figure", "5".to_json()), ("series", r.series.to_json())]);
+        assert_eq!(r.to_json_text(), legacy.pretty());
+    }
+
+    #[test]
+    fn csv_is_long_format_and_markdown_is_wide() {
+        let r = sample();
+        let csv = r.to_csv();
+        assert!(csv.contains("gzip.16k,1,2.800000"));
+        assert!(csv.contains("gzip.16k mapped,4,1.900000"));
+        let md = r.to_markdown();
+        assert!(md.contains("| quantum | gzip.16k | gzip.16k mapped |"));
+        assert!(md.contains("| 1 | 2.800 | 1.900 |"));
+    }
+}

@@ -1,0 +1,142 @@
+//! `ccache sweep` — replay a trace file across memory backends under one configuration.
+//!
+//! This is the generic, scriptable counterpart of the figure commands: point it at any
+//! trace file (binary or text) and it replays the reference stream on the column cache,
+//! the set-associative baseline and the ideal scratchpad, reporting cycles, CPI and miss
+//! rates side by side. Binary traces are replayed **streaming** through
+//! [`ReplayEngine::replay_reader`], so the file may be larger than memory.
+
+use crate::args::ArgParser;
+use crate::error::CliError;
+use crate::output::{emit, BackendSweepReport, OutputFormat};
+use ccache_core::engine::ReplayEngine;
+use ccache_core::RunResult;
+use ccache_sim::backend::BackendKind;
+use ccache_sim::{CacheConfig, LatencyConfig, SystemConfig};
+use ccache_trace::binfmt::TraceReader;
+
+/// Help text for `ccache sweep`.
+pub const USAGE: &str = "\
+usage: ccache sweep --trace FILE [options]
+
+Replays a trace file on every requested memory backend under one cache configuration
+and reports cycles, CPI and miss rates side by side. Binary traces stream from disk in
+bounded memory; text traces are loaded first.
+
+options:
+  --trace FILE      the trace to replay (binary .cct or text; detected by magic)
+  --backend KIND    column | set-assoc | ideal | all (default: all)
+  --capacity BYTES  total cache capacity (default: 2048)
+  --columns N       number of columns/ways (default: 4)
+  --line BYTES      cache-line size (default: 32)
+  --page BYTES      page size (default: 128)
+  --tlb N           TLB entries (default: 64)
+  --format FMT      json | csv | markdown (default: json)
+  --out FILE        write the report in FMT to FILE instead of stdout
+  --help, -h        show this help
+";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors, invalid configurations, or unreadable/malformed trace files.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("sweep", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let trace_path = match p.value("--trace")? {
+        Some(path) => path,
+        None => return Err(p.usage("missing required flag '--trace FILE'")),
+    };
+    let backends = match p.value("--backend")?.as_deref() {
+        None | Some("all") => BackendKind::ALL.to_vec(),
+        Some(raw) => match BackendKind::parse(raw) {
+            Some(kind) => vec![kind],
+            None => {
+                return Err(p.usage(format!(
+                "invalid value '{raw}' for '--backend' (expected column, set-assoc, ideal or all)"
+            )))
+            }
+        },
+    };
+    let capacity = p.parsed::<u64>("--capacity")?.unwrap_or(2048);
+    let columns = p.parsed::<usize>("--columns")?.unwrap_or(4);
+    let line = p.parsed::<u64>("--line")?.unwrap_or(32);
+    let page = p.parsed::<u64>("--page")?.unwrap_or(128);
+    let tlb = p.parsed::<usize>("--tlb")?.unwrap_or(64);
+    let format = OutputFormat::from_parser(&mut p)?;
+    let out = p.value("--out")?;
+    p.finish()?;
+
+    let cache = CacheConfig::builder()
+        .capacity_bytes(capacity)
+        .columns(columns)
+        .line_size(line)
+        .build()?;
+    let config = SystemConfig {
+        cache,
+        latency: LatencyConfig::default(),
+        page_size: page,
+        tlb_entries: tlb,
+    };
+
+    let binary = ccache_trace::binfmt::is_binary_trace_file(&trace_path)?;
+    // Text traces are small and hand-written; binary traces stream per backend so the
+    // file never has to fit in memory.
+    let in_memory = if binary {
+        None
+    } else {
+        Some(ccache_trace::textfmt::read_trace(std::io::BufReader::new(
+            std::fs::File::open(&trace_path)?,
+        ))?)
+    };
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut events = 0u64;
+    for kind in &backends {
+        let mut engine = ReplayEngine::new(*kind, config)?;
+        let result = match &in_memory {
+            Some(trace) => engine.replay(&kind.to_string(), trace),
+            None => {
+                let mut reader = TraceReader::open(&trace_path)?;
+                engine.replay_reader(&kind.to_string(), &mut reader)?
+            }
+        };
+        events = result.references;
+        runs.push(result);
+    }
+
+    let report = BackendSweepReport {
+        trace: trace_path,
+        events,
+        runs,
+    };
+    emit(&report, format, out.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_trace_flag_is_a_usage_error() {
+        let err = run(Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--trace"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn bad_backend_names_are_usage_errors() {
+        let err = run(vec![
+            "--trace".to_owned(),
+            "x.cct".to_owned(),
+            "--backend".to_owned(),
+            "victim-cache".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid value 'victim-cache'"));
+    }
+}

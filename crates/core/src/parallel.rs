@@ -27,8 +27,8 @@ where
     par_map_threads(items, f, threads)
 }
 
-/// [`par_map`] with an explicit worker count (clamped to the item count and
-/// [`MAX_THREADS`]). Exposed so tests can exercise the threaded path even on single-CPU
+/// [`par_map`] with an explicit worker count (clamped to the item count and the
+/// 16-thread cap). Exposed so tests can exercise the threaded path even on single-CPU
 /// machines.
 #[cfg(feature = "parallel")]
 pub fn par_map_threads<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>

@@ -27,6 +27,27 @@ use std::ops::Range;
 /// returns the cycles of one reference, control operations accumulate into
 /// [`MemoryBackend::control_cycles`], and [`MemoryBackend::reset_stats`] clears counters
 /// without touching contents or mappings.
+///
+/// # Example: build a backend, program tints, replay, read stats
+///
+/// ```
+/// use ccache_sim::backend::{build_backend, BackendKind};
+/// use ccache_sim::{ColumnMask, SystemConfig, Tint};
+///
+/// let mut backend = build_backend(BackendKind::ColumnCache, SystemConfig::default())?;
+///
+/// // Program tints: give a hot 2 KiB region its own column.
+/// backend.define_tint(Tint(1), ColumnMask::single(0))?;
+/// backend.tint_range(0x1000..0x1800, Tint(1));
+///
+/// // Replay a reference stream and read the statistics.
+/// let refs: Vec<(u64, bool)> = (0..64u64).map(|i| (0x1000 + i * 32, false)).collect();
+/// let cycles = backend.run_batch(&refs);
+/// assert!(cycles > 0);
+/// assert_eq!(backend.stats().references, 64);
+/// assert!(backend.cache_stats().misses > 0);
+/// # Ok::<(), ccache_sim::SimError>(())
+/// ```
 pub trait MemoryBackend: Send {
     /// A short stable identifier (`"column-cache"`, `"set-assoc"`, `"ideal-scratchpad"`).
     fn name(&self) -> &'static str;

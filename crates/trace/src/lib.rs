@@ -15,6 +15,11 @@
 //!   the paper).
 //! * [`lifetime::Interval`] — lifetime intervals `[first, last]` over trace positions.
 //! * [`synth`] — synthetic reference-stream generators used by tests and ablations.
+//! * [`binfmt`] — the compact binary on-disk trace format (magic + version header,
+//!   varint delta-encoded addresses, run-length read/write flags) and the streaming
+//!   [`binfmt::TraceReader`] that replays traces larger than memory.
+//! * [`textfmt`] — the line-oriented text trace format (`R 0x1000 4`) for hand-written
+//!   traces and inspection.
 //!
 //! # Example
 //!
@@ -35,8 +40,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod binfmt;
 pub mod error;
 pub mod event;
 pub mod lifetime;
@@ -44,8 +50,10 @@ pub mod profile;
 pub mod recorder;
 pub mod region;
 pub mod synth;
+pub mod textfmt;
 pub mod trace;
 
+pub use binfmt::{TraceHeader, TraceReader, TraceWriter};
 pub use error::TraceError;
 pub use event::{AccessKind, MemAccess, VarId};
 pub use lifetime::Interval;

@@ -1,7 +1,10 @@
 //! Property-based tests of the trace substrate.
 
 use ccache_trace::synth::{interleave, pseudo_random, read_modify_write, sequential_scan};
-use ccache_trace::{AccessKind, AccessProfile, Interval, SymbolTable, Trace, TraceRecorder};
+use ccache_trace::{
+    binfmt, textfmt, AccessKind, AccessProfile, Interval, MemAccess, SymbolTable, Trace,
+    TraceRecorder,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -135,6 +138,52 @@ proptest! {
             prop_assert_eq!(st.resolve(r.base), Some(*id));
             prop_assert_eq!(st.resolve(r.base + size - 1), Some(*id));
         }
+    }
+
+    /// The binary format round-trips any event stream exactly (modulo the variable
+    /// annotations it deliberately drops), whatever mix of kinds, sizes and address
+    /// jumps the trace contains.
+    #[test]
+    fn binary_format_round_trips_arbitrary_traces(
+        ops in prop::collection::vec(
+            (any::<u64>(), 1u32..4096, any::<bool>()),
+            0..500,
+        )
+    ) {
+        let trace: Trace = ops
+            .iter()
+            .map(|&(addr, size, w)| if w {
+                MemAccess::write(addr, size)
+            } else {
+                MemAccess::read(addr, size)
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        binfmt::write_trace(&trace, &mut bytes).unwrap();
+        let back = binfmt::read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// The text format round-trips the same streams (addresses here are what real
+    /// programs produce; the text grammar caps sizes at u32 like `MemAccess`).
+    #[test]
+    fn text_format_round_trips_arbitrary_traces(
+        ops in prop::collection::vec(
+            (0u64..u64::MAX / 2, 1u32..4096, any::<bool>()),
+            0..200,
+        )
+    ) {
+        let trace: Trace = ops
+            .iter()
+            .map(|&(addr, size, w)| if w {
+                MemAccess::write(addr, size)
+            } else {
+                MemAccess::read(addr, size)
+            })
+            .collect();
+        let bytes = textfmt::write_trace(&trace, Vec::new()).unwrap();
+        let back = textfmt::read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(back, trace);
     }
 
     /// Interval hull and intersection are consistent: the intersection (when it exists) is

@@ -7,11 +7,11 @@
 //! [`ReplayEngine::replay_reader`], so the file may be larger than memory.
 
 use crate::args::ArgParser;
+use crate::backend::backends_from_parser;
 use crate::error::CliError;
 use crate::output::{emit, BackendSweepReport, OutputFormat};
 use ccache_core::engine::ReplayEngine;
 use ccache_core::RunResult;
-use ccache_sim::backend::BackendKind;
 use ccache_sim::{CacheConfig, LatencyConfig, SystemConfig};
 use ccache_trace::binfmt::TraceReader;
 
@@ -51,17 +51,7 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         Some(path) => path,
         None => return Err(p.usage("missing required flag '--trace FILE'")),
     };
-    let backends = match p.value("--backend")?.as_deref() {
-        None | Some("all") => BackendKind::ALL.to_vec(),
-        Some(raw) => match BackendKind::parse(raw) {
-            Some(kind) => vec![kind],
-            None => {
-                return Err(p.usage(format!(
-                "invalid value '{raw}' for '--backend' (expected column, set-assoc, ideal or all)"
-            )))
-            }
-        },
-    };
+    let backends = backends_from_parser(&mut p, "--backend")?;
     let capacity = p.parsed::<u64>("--capacity")?.unwrap_or(2048);
     let columns = p.parsed::<usize>("--columns")?.unwrap_or(4);
     let line = p.parsed::<u64>("--line")?.unwrap_or(32);

@@ -12,6 +12,7 @@
 //! ccache trace record --gen KIND --out FILE
 //! ccache trace info FILE
 //! ccache trace convert IN OUT
+//! ccache tune [--workload NAME | --trace FILE] [--strategy S] [--budget N] [--seed N]
 //! ```
 //!
 //! The figure binaries in `ccache-bench` are thin shims over [`run`], so
@@ -25,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod backend;
 pub mod commands;
 pub mod error;
 pub mod output;
@@ -44,6 +46,7 @@ commands:
   ablation  sensitivity studies beyond the paper's figures
   sweep     replay a trace file across memory backends
   trace     record, inspect and convert trace files
+  tune      autotune cache geometry and column assignments for a workload
   help      show this help
 
 Run 'ccache <command> --help' for command-specific options.
@@ -68,6 +71,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         "ablation" => commands::ablation::run(args),
         "sweep" => commands::sweep::run(args),
         "trace" => commands::trace::run(args),
+        "tune" => commands::tune::run(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -108,12 +108,65 @@ impl ReplayEngine {
 
     /// Captures the backend's current state — contents, mappings, statistics — as the
     /// state [`ReplayEngine::reset`] returns to.
+    ///
+    /// # Contract (the optimizer inner loop)
+    ///
+    /// `snapshot`/`reset` round-trips are cheap (one backend clone each, no replay) and
+    /// panic-free **in any order**: snapshotting a freshly built engine, resetting before
+    /// any snapshot, and resetting twice in a row are all well defined. A search that
+    /// evaluates many mappings under one geometry snapshots the pristine engine once and
+    /// then `reset` + [`apply`](ReplayEngine::apply) + [`replay`](ReplayEngine::replay)
+    /// per candidate, never paying for reconstruction:
+    ///
+    /// ```
+    /// use ccache_core::engine::ReplayEngine;
+    /// use ccache_core::runner::{CacheMapping, RegionMapping};
+    /// use ccache_sim::backend::BackendKind;
+    /// use ccache_sim::{ColumnMask, SystemConfig};
+    /// use ccache_trace::synth::sequential_scan;
+    ///
+    /// let config = SystemConfig { page_size: 256, ..SystemConfig::default() };
+    /// let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config)?;
+    /// engine.reset();    // before any snapshot or replay: a no-op back to pristine
+    /// engine.snapshot(); // the state every candidate evaluation starts from
+    ///
+    /// let trace = sequential_scan(0x0, 4096, 32, 4, 2, None);
+    /// let mut results = Vec::new();
+    /// for column in 0..4 {
+    ///     engine.reset(); // back to the pristine snapshot, mappings and stats cleared
+    ///     let mut mapping = CacheMapping::new();
+    ///     mapping.map(0x0, 4096, RegionMapping::Columns { mask: ColumnMask::single(column) });
+    ///     engine.apply(&mapping)?;
+    ///     results.push(engine.replay("candidate", &trace));
+    /// }
+    /// // every candidate saw an identical starting state; by symmetry the four
+    /// // single-column restrictions perform identically
+    /// assert!(results.iter().all(|r| r.references == trace.len() as u64));
+    /// assert_eq!(results[0], results[3]);
+    /// # Ok::<(), ccache_core::CoreError>(())
+    /// ```
     pub fn snapshot(&mut self) {
         self.snapshot = Some(self.backend.boxed_clone());
     }
 
+    /// Returns `true` if a snapshot has been taken (and [`ReplayEngine::reset`] will
+    /// restore it rather than the just-constructed state).
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Drops the snapshot, so the next [`ReplayEngine::reset`] returns the backend to its
+    /// just-constructed state.
+    pub fn clear_snapshot(&mut self) {
+        self.snapshot = None;
+    }
+
     /// Restores the backend to the last snapshot; with no snapshot taken, returns it to
     /// its just-constructed state ([`MemoryBackend::full_reset`]).
+    ///
+    /// Safe to call at any point — including before any snapshot or replay — and
+    /// idempotent: consecutive resets land on the same state. See
+    /// [`ReplayEngine::snapshot`] for the full round-trip contract.
     pub fn reset(&mut self) {
         match &self.snapshot {
             Some(snap) => self.backend = snap.boxed_clone(),
@@ -281,6 +334,45 @@ mod tests {
         engine.reset(); // back to an empty, unmapped system
         let again = engine.replay("cold", &t);
         assert_eq!(pristine, again);
+    }
+
+    #[test]
+    fn snapshot_and_reset_are_safe_before_any_replay() {
+        let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
+        assert!(!engine.has_snapshot());
+        engine.reset(); // no snapshot, nothing replayed: must not panic
+        engine.reset(); // idempotent
+        engine.snapshot(); // snapshot of a pristine engine
+        assert!(engine.has_snapshot());
+        engine.reset();
+
+        // the pristine snapshot behaves exactly like a fresh engine
+        let t = trace();
+        let from_snapshot = engine.replay("x", &t);
+        let mut fresh = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
+        assert_eq!(from_snapshot, fresh.replay("x", &t));
+
+        engine.clear_snapshot();
+        assert!(!engine.has_snapshot());
+        engine.reset(); // back to full_reset semantics, still panic-free
+        assert_eq!(engine.replay("x", &t), fresh.replay("x", &t));
+    }
+
+    #[test]
+    fn repeated_reset_apply_replay_is_stable() {
+        // The optimizer inner loop: many candidates from one pristine snapshot.
+        let t = trace();
+        let m = mapping();
+        let mut engine = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
+        engine.snapshot();
+        let mut results = Vec::new();
+        for _ in 0..3 {
+            engine.reset();
+            engine.apply(&m).unwrap();
+            results.push(engine.replay("candidate", &t));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   ([`runner::CacheMapping`]) and replay traces ([`runner::run_trace`]).
 //! * [`placement`] — relocate program variables (page alignment, scratchpad packing)
 //!   before an experiment.
+//! * [`fitness`] — the replay engine packaged as a fitness function for configuration
+//!   search ([`fitness::ReplayFitness`]), with order-preserving parallel batches.
 //! * [`partition`] — the Figure 4 scratchpad/cache partition sweep.
 //! * [`dynamic`] — the dynamically remapped column-cache run of Figure 4(d).
 //! * [`multitask`] — the Figure 5 multitasking CPI-vs-quantum experiment.
@@ -43,6 +45,7 @@
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod fitness;
 pub mod multitask;
 pub mod parallel;
 pub mod partition;
@@ -53,6 +56,7 @@ pub mod runner;
 pub use dynamic::{run_dynamic, DynamicRunResult, Figure4dResult};
 pub use engine::ReplayEngine;
 pub use error::CoreError;
+pub use fitness::{Candidate, ReplayFitness};
 pub use multitask::{
     quantum_sweep, run_multitasking, JobMetrics, MultitaskConfig, MultitaskRun, QuantumSeries,
     SharingPolicy,
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use crate::dynamic::{run_dynamic, Figure4dResult};
     pub use crate::engine::ReplayEngine;
     pub use crate::error::CoreError;
+    pub use crate::fitness::{Candidate, ReplayFitness};
     pub use crate::multitask::{quantum_sweep, run_multitasking, MultitaskConfig, SharingPolicy};
     pub use crate::partition::{partition_sweep, PartitionConfig, PartitionSweep};
     pub use crate::report::SweepReport;

@@ -253,6 +253,109 @@ pub fn assign_columns(
     })
 }
 
+/// Checks that a raw per-vertex column list is a legal assignment for `graph` under
+/// `options`: one column per vertex, every column in `0..options.columns`, and every
+/// forced variable on its designated column.
+///
+/// This is the validation half of the search-subsystem contract: optimizers mutate raw
+/// column vectors and call this (or [`assignment_from_vertex_columns`]) to reject
+/// out-of-space candidates before paying for a replay.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::NoColumns`], [`LayoutError::VertexCountMismatch`],
+/// [`LayoutError::VertexColumnOutOfRange`], [`LayoutError::UnknownVariable`] or
+/// [`LayoutError::ForcedPlacementViolated`] naming the first violation found.
+pub fn validate_vertex_columns(
+    graph: &ConflictGraph,
+    options: &LayoutOptions,
+    vertex_columns: &[usize],
+) -> Result<(), LayoutError> {
+    if options.columns == 0 {
+        return Err(LayoutError::NoColumns);
+    }
+    if vertex_columns.len() != graph.vertex_count() {
+        return Err(LayoutError::VertexCountMismatch {
+            expected: graph.vertex_count(),
+            got: vertex_columns.len(),
+        });
+    }
+    for (vertex, &column) in vertex_columns.iter().enumerate() {
+        if column >= options.columns {
+            return Err(LayoutError::VertexColumnOutOfRange {
+                vertex,
+                column,
+                columns: options.columns,
+            });
+        }
+    }
+    for &(var, col) in &options.forced {
+        if col >= options.columns {
+            return Err(LayoutError::ForcedColumnOutOfRange {
+                var,
+                column: col,
+                columns: options.columns,
+            });
+        }
+        let mut found = false;
+        for (idx, vertex) in graph.vertices() {
+            if vertex.var == var {
+                found = true;
+                if vertex_columns[idx] != col {
+                    return Err(LayoutError::ForcedPlacementViolated {
+                        var,
+                        expected: col,
+                        got: vertex_columns[idx],
+                    });
+                }
+            }
+        }
+        if !found {
+            return Err(LayoutError::UnknownVariable { var });
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`ColumnAssignment`] from a raw per-vertex column list, validating it first.
+///
+/// The cost `W` is recomputed from the graph, so the result compares directly with the
+/// output of [`assign_columns`]: a search that finds a lower-`W` vector than the heuristic
+/// can quantify the improvement. `optimal` is set only when the cost is zero (a zero-cost
+/// assignment is minimum by definition); `merges` is always zero because no merging
+/// happened.
+///
+/// # Errors
+///
+/// Propagates the validation errors of [`validate_vertex_columns`].
+pub fn assignment_from_vertex_columns(
+    graph: &ConflictGraph,
+    options: &LayoutOptions,
+    vertex_columns: &[usize],
+) -> Result<ColumnAssignment, LayoutError> {
+    validate_vertex_columns(graph, options, vertex_columns)?;
+    let mut var_columns: BTreeMap<VarId, Vec<usize>> = BTreeMap::new();
+    for (idx, vertex) in graph.vertices() {
+        let entry = var_columns.entry(vertex.var).or_default();
+        let col = vertex_columns[idx];
+        if !entry.contains(&col) {
+            entry.push(col);
+        }
+    }
+    for cols in var_columns.values_mut() {
+        cols.sort_unstable();
+    }
+    let cost = graph.assignment_cost(vertex_columns);
+    Ok(ColumnAssignment {
+        columns: options.columns,
+        vertex_columns: vertex_columns.to_vec(),
+        var_columns,
+        cost,
+        optimal: cost == 0,
+        merges: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +475,68 @@ mod tests {
         assert!(a.vertex_columns.is_empty());
         assert_eq!(a.cost, 0);
         assert!(a.optimal);
+    }
+
+    #[test]
+    fn raw_vertex_columns_round_trip_through_validation() {
+        let g = sample_graph();
+        let opts = LayoutOptions::new(4, 512);
+        let heuristic = assign_columns(&g, &opts).unwrap();
+        let rebuilt = assignment_from_vertex_columns(&g, &opts, &heuristic.vertex_columns).unwrap();
+        assert_eq!(rebuilt.vertex_columns, heuristic.vertex_columns);
+        assert_eq!(rebuilt.var_columns, heuristic.var_columns);
+        assert_eq!(rebuilt.cost, heuristic.cost);
+    }
+
+    #[test]
+    fn raw_vertex_columns_are_validated() {
+        let g = sample_graph();
+        let opts = LayoutOptions::new(4, 512);
+        assert!(matches!(
+            validate_vertex_columns(&g, &opts, &[0, 1]),
+            Err(LayoutError::VertexCountMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+        assert!(matches!(
+            validate_vertex_columns(&g, &opts, &[0, 1, 2, 9]),
+            Err(LayoutError::VertexColumnOutOfRange {
+                vertex: 3,
+                column: 9,
+                ..
+            })
+        ));
+        let forced = LayoutOptions::new(4, 512).force(VarId(3), 2);
+        assert!(matches!(
+            validate_vertex_columns(&g, &forced, &[0, 1, 2, 3]),
+            Err(LayoutError::ForcedPlacementViolated {
+                var: VarId(3),
+                expected: 2,
+                got: 3
+            })
+        ));
+        validate_vertex_columns(&g, &forced, &[0, 1, 3, 2]).unwrap();
+        assert!(matches!(
+            validate_vertex_columns(&g, &LayoutOptions::new(0, 512), &[]),
+            Err(LayoutError::NoColumns)
+        ));
+        let unknown = LayoutOptions::new(4, 512).force(VarId(9), 0);
+        assert!(matches!(
+            validate_vertex_columns(&g, &unknown, &[0, 1, 2, 3]),
+            Err(LayoutError::UnknownVariable { var: VarId(9) })
+        ));
+    }
+
+    #[test]
+    fn decoded_assignments_recompute_cost() {
+        let g = sample_graph();
+        let opts = LayoutOptions::new(2, 512);
+        // vertices 0 and 1 share column 0: cost is their edge weight, 10
+        let a = assignment_from_vertex_columns(&g, &opts, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(a.cost, 10);
+        assert!(!a.optimal);
+        assert_eq!(a.merges, 0);
     }
 
     #[test]

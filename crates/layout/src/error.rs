@@ -36,6 +36,31 @@ pub enum LayoutError {
         /// Number of vertices in the offending graph.
         vertices: usize,
     },
+    /// A raw per-vertex column list did not cover every vertex of the graph.
+    VertexCountMismatch {
+        /// Number of vertices in the graph.
+        expected: usize,
+        /// Number of columns supplied.
+        got: usize,
+    },
+    /// A raw per-vertex column list assigned a vertex to a column that does not exist.
+    VertexColumnOutOfRange {
+        /// Index of the offending vertex.
+        vertex: usize,
+        /// The requested column.
+        column: usize,
+        /// Number of columns available.
+        columns: usize,
+    },
+    /// A raw per-vertex column list moved a forced variable off its designated column.
+    ForcedPlacementViolated {
+        /// The forced variable.
+        var: VarId,
+        /// The column the variable was forced to.
+        expected: usize,
+        /// The column the list actually assigned.
+        got: usize,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -60,6 +85,22 @@ impl fmt::Display for LayoutError {
             LayoutError::SearchBudgetExceeded { vertices } => write!(
                 f,
                 "exact coloring abandoned: graph with {vertices} vertices exceeded the search budget"
+            ),
+            LayoutError::VertexCountMismatch { expected, got } => write!(
+                f,
+                "assignment lists {got} vertex columns but the graph has {expected} vertices"
+            ),
+            LayoutError::VertexColumnOutOfRange {
+                vertex,
+                column,
+                columns,
+            } => write!(
+                f,
+                "vertex {vertex} assigned to column {column} but only {columns} columns exist"
+            ),
+            LayoutError::ForcedPlacementViolated { var, expected, got } => write!(
+                f,
+                "variable {var} is forced to column {expected} but the assignment placed it in column {got}"
             ),
         }
     }

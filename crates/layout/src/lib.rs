@@ -52,7 +52,10 @@ pub mod graph;
 pub mod static_analysis;
 pub mod weights;
 
-pub use assignment::{assign_columns, ColumnAssignment, LayoutOptions};
+pub use assignment::{
+    assign_columns, assignment_from_vertex_columns, validate_vertex_columns, ColumnAssignment,
+    LayoutOptions,
+};
 pub use dynamic::{plan_phases, remap_count, DynamicPlan, PhaseLayout};
 pub use error::LayoutError;
 pub use graph::{ConflictGraph, Vertex};

@@ -1,0 +1,87 @@
+//! Error type for the search subsystem.
+
+use ccache_core::CoreError;
+use ccache_layout::LayoutError;
+use ccache_sim::SimError;
+use std::fmt;
+
+/// Errors produced while building a search space or running a search.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// An error from the experiment layer (replay, mapping application).
+    Core(CoreError),
+    /// An error from the layout algorithms (invalid assignment, coloring failure).
+    Layout(LayoutError),
+    /// An error from the simulator (invalid geometry).
+    Sim(SimError),
+    /// No valid geometry survived search-space construction.
+    EmptySpace {
+        /// Why every candidate geometry was rejected.
+        reason: String,
+    },
+    /// A request parameter was inconsistent (zero budget, empty population, ...).
+    BadRequest {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Core(e) => write!(f, "evaluation error: {e}"),
+            OptError::Layout(e) => write!(f, "assignment error: {e}"),
+            OptError::Sim(e) => write!(f, "geometry error: {e}"),
+            OptError::EmptySpace { reason } => write!(f, "empty search space: {reason}"),
+            OptError::BadRequest { reason } => write!(f, "invalid search request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Core(e) => Some(e),
+            OptError::Layout(e) => Some(e),
+            OptError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for OptError {
+    fn from(e: CoreError) -> Self {
+        OptError::Core(e)
+    }
+}
+
+impl From<LayoutError> for OptError {
+    fn from(e: LayoutError) -> Self {
+        OptError::Layout(e)
+    }
+}
+
+impl From<SimError> for OptError {
+    fn from(e: SimError) -> Self {
+        OptError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_component_errors_with_source() {
+        use std::error::Error;
+        let e: OptError = LayoutError::NoColumns.into();
+        assert!(e.to_string().contains("assignment"));
+        assert!(e.source().is_some());
+        let e = OptError::EmptySpace {
+            reason: "no geometry".to_owned(),
+        };
+        assert!(e.to_string().contains("no geometry"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Inferring a symbol table from a raw reference stream.
+//!
+//! Traces recorded outside the instrumented workloads (a `.cct` file from `ccache trace
+//! record`, or one converted from another simulator) carry addresses but no variable
+//! annotations, and the layout algorithms need *variables* — address ranges that live and
+//! die together — to build a conflict graph. This module recovers them with the standard
+//! trick from trace-driven layout tools: sort the touched cache lines, then split the
+//! address space wherever two consecutive lines are further apart than a gap threshold.
+//! Every cluster becomes one synthetic region (`r0`, `r1`, ...), which downstream code
+//! treats exactly like a recorded variable.
+//!
+//! The inference is deterministic: the same trace and threshold always produce the same
+//! table, which keeps search results reproducible.
+
+use crate::region::SymbolTable;
+use crate::trace::Trace;
+
+/// Default clustering gap: two references further apart than this start a new region.
+/// One 4 KiB page is a good default for traces of unknown provenance — allocators rarely
+/// pack unrelated objects closer, and page granularity matches the cache's mapping
+/// granularity.
+pub const DEFAULT_REGION_GAP: u64 = 4096;
+
+/// Infers a symbol table for a raw trace by clustering touched addresses.
+///
+/// Consecutive referenced `granularity`-sized blocks closer than `gap` bytes are merged
+/// into one region; each region is registered as `r<i>` (in ascending address order) and
+/// covers every byte from its first to its last referenced block inclusive. An empty
+/// trace yields an empty table.
+///
+/// `granularity` rounds addresses down to block boundaries before clustering (use the
+/// cache line size; 0 is treated as 1), so sub-block strides do not fragment regions.
+///
+/// # Example
+///
+/// ```
+/// use ccache_trace::infer::infer_symbols;
+/// use ccache_trace::synth::sequential_scan;
+/// use ccache_trace::Trace;
+///
+/// // Two well-separated arrays.
+/// let a = sequential_scan(0x1000, 512, 32, 4, 1, None);
+/// let b = sequential_scan(0x8_0000, 256, 32, 4, 1, None);
+/// let trace = Trace::concat([&a, &b]);
+///
+/// let symbols = infer_symbols(&trace, 4096, 32);
+/// assert_eq!(symbols.len(), 2);
+/// assert_eq!(symbols.resolve(0x1000), symbols.resolve(0x11ff));
+/// assert_ne!(symbols.resolve(0x1000), symbols.resolve(0x8_0000));
+/// ```
+pub fn infer_symbols(trace: &Trace, gap: u64, granularity: u64) -> SymbolTable {
+    let granularity = granularity.max(1);
+    let mut blocks: Vec<u64> = trace
+        .iter()
+        .map(|e| e.addr / granularity * granularity)
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+
+    let mut table = SymbolTable::with_base(0);
+    let mut index = 0usize;
+    let mut cluster: Option<(u64, u64)> = None; // (first block, last block)
+    let flush = |table: &mut SymbolTable, index: &mut usize, first: u64, last: u64| {
+        let size = last - first + granularity;
+        table
+            .insert_at(&format!("r{index}"), first, size)
+            .expect("clusters are disjoint and ascending");
+        *index += 1;
+    };
+    for block in blocks {
+        cluster = Some(match cluster {
+            None => (block, block),
+            Some((first, last)) if block - last <= gap.max(granularity) => (first, block),
+            Some((first, last)) => {
+                flush(&mut table, &mut index, first, last);
+                (block, block)
+            }
+        });
+    }
+    if let Some((first, last)) = cluster {
+        flush(&mut table, &mut index, first, last);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemAccess;
+    use crate::synth::sequential_scan;
+
+    #[test]
+    fn empty_trace_yields_empty_table() {
+        let table = infer_symbols(&Trace::new(), DEFAULT_REGION_GAP, 32);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn one_dense_scan_is_one_region() {
+        let t = sequential_scan(0x2000, 2048, 32, 4, 3, None);
+        let table = infer_symbols(&t, DEFAULT_REGION_GAP, 32);
+        assert_eq!(table.len(), 1);
+        let region = table.iter().next().unwrap();
+        assert_eq!(region.base, 0x2000);
+        assert!(region.size >= 2048);
+        assert_eq!(region.name, "r0");
+    }
+
+    #[test]
+    fn widely_separated_streams_become_distinct_regions() {
+        let a = sequential_scan(0x0, 512, 32, 4, 1, None);
+        let b = sequential_scan(0x10_0000, 512, 32, 4, 1, None);
+        let c = sequential_scan(0x20_0000, 512, 32, 4, 1, None);
+        let t = Trace::concat([&a, &b, &c]);
+        let table = infer_symbols(&t, DEFAULT_REGION_GAP, 32);
+        assert_eq!(table.len(), 3);
+        // regions are named in ascending address order and resolve their own addresses
+        let names: Vec<String> = table.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, ["r0", "r1", "r2"]);
+        assert!(table.resolve(0x10_0010).is_some());
+    }
+
+    #[test]
+    fn gap_threshold_controls_merging() {
+        let mut t = Trace::new();
+        t.push(MemAccess::read(0x0, 4));
+        t.push(MemAccess::read(0x3000, 4)); // 12 KiB away
+        assert_eq!(infer_symbols(&t, 4096, 32).len(), 2);
+        assert_eq!(infer_symbols(&t, 64 * 1024, 32).len(), 1);
+    }
+
+    #[test]
+    fn inference_is_deterministic_and_order_independent() {
+        let a = sequential_scan(0x9000, 256, 32, 4, 1, None);
+        let b = sequential_scan(0x0, 256, 32, 4, 1, None);
+        let forward = Trace::concat([&a, &b]);
+        let backward = Trace::concat([&b, &a]);
+        let ta = infer_symbols(&forward, DEFAULT_REGION_GAP, 32);
+        let tb = infer_symbols(&backward, DEFAULT_REGION_GAP, 32);
+        assert_eq!(ta.len(), tb.len());
+        for (ra, rb) in ta.iter().zip(tb.iter()) {
+            assert_eq!((ra.base, ra.size, &ra.name), (rb.base, rb.size, &rb.name));
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //!   the paper).
 //! * [`lifetime::Interval`] — lifetime intervals `[first, last]` over trace positions.
 //! * [`synth`] — synthetic reference-stream generators used by tests and ablations.
+//! * [`infer`] — symbol-table inference for raw traces (cluster touched lines into
+//!   synthetic regions), so file traces without annotations can still drive the layout
+//!   and search tooling.
 //! * [`binfmt`] — the compact binary on-disk trace format (magic + version header,
 //!   varint delta-encoded addresses, run-length read/write flags) and the streaming
 //!   [`binfmt::TraceReader`] that replays traces larger than memory.
@@ -45,6 +48,7 @@
 pub mod binfmt;
 pub mod error;
 pub mod event;
+pub mod infer;
 pub mod lifetime;
 pub mod profile;
 pub mod recorder;
@@ -56,6 +60,7 @@ pub mod trace;
 pub use binfmt::{TraceHeader, TraceReader, TraceWriter};
 pub use error::TraceError;
 pub use event::{AccessKind, MemAccess, VarId};
+pub use infer::infer_symbols;
 pub use lifetime::Interval;
 pub use profile::{AccessProfile, VariableProfile};
 pub use recorder::TraceRecorder;

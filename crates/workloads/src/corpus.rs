@@ -1,0 +1,109 @@
+//! The named workload corpus: every instrumented workload reachable by one string.
+//!
+//! Search tooling (`ccache tune`) and scripts need to select a workload by name rather
+//! than by calling the individual `run_*` constructors, so this module maintains the
+//! registry. Each entry builds a full [`WorkloadRun`] — trace, symbol table, functional
+//! checksum — at either the paper scale or a reduced quick scale, deterministically: the
+//! same name and scale always produce the same reference stream.
+
+use crate::gzipsim::{run_gzip_job, GzipConfig};
+use crate::instrument::WorkloadRun;
+use crate::kernels::{
+    run_fir, run_histogram, run_matmul, run_triad, FirConfig, HistogramConfig, MatmulConfig,
+    TriadConfig,
+};
+use crate::mpeg::{run_combined, run_dequant, run_idct, run_plus, MpegConfig};
+
+/// Every workload name [`corpus`] accepts, in the order reported to users.
+pub const CORPUS_NAMES: [&str; 9] = [
+    "mpeg-combined",
+    "mpeg-dequant",
+    "mpeg-idct",
+    "mpeg-plus",
+    "gzip",
+    "fir",
+    "matmul",
+    "histogram",
+    "triad",
+];
+
+/// Builds the named workload at full (`quick == false`) or reduced (`quick == true`)
+/// scale. Returns `None` for unknown names; [`CORPUS_NAMES`] lists the valid ones.
+pub fn corpus(name: &str, quick: bool) -> Option<WorkloadRun> {
+    let mpeg = if quick {
+        MpegConfig::small()
+    } else {
+        MpegConfig::default()
+    };
+    Some(match name {
+        "mpeg-combined" => run_combined(&mpeg),
+        "mpeg-dequant" => run_dequant(&mpeg),
+        "mpeg-idct" => run_idct(&mpeg),
+        "mpeg-plus" => run_plus(&mpeg),
+        "gzip" => {
+            let config = GzipConfig {
+                input_len: if quick { 4 * 1024 } else { 24 * 1024 },
+                ..GzipConfig::default()
+            };
+            run_gzip_job(&config, 0, "gzip")
+        }
+        "fir" => run_fir(&if quick {
+            FirConfig::small()
+        } else {
+            FirConfig::default()
+        }),
+        "matmul" => run_matmul(&if quick {
+            MatmulConfig::small()
+        } else {
+            MatmulConfig::default()
+        }),
+        "histogram" => run_histogram(&if quick {
+            HistogramConfig::small()
+        } else {
+            HistogramConfig::default()
+        }),
+        "triad" => run_triad(&if quick {
+            TriadConfig::small()
+        } else {
+            TriadConfig::default()
+        }),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_builds_at_both_scales() {
+        for name in CORPUS_NAMES {
+            for quick in [true, false] {
+                // full-scale runs are big; only exercise quick here, full for one entry
+                if !quick && name != "fir" {
+                    continue;
+                }
+                let run = corpus(name, quick).unwrap_or_else(|| panic!("{name} missing"));
+                assert!(!run.trace.is_empty(), "{name} produced an empty trace");
+                assert!(!run.symbols.is_empty(), "{name} has no symbols");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(corpus("mp3", true).is_none());
+        assert!(corpus("", false).is_none());
+    }
+
+    #[test]
+    fn corpus_builds_are_deterministic() {
+        let a = corpus("mpeg-dequant", true).unwrap();
+        let b = corpus("mpeg-dequant", true).unwrap();
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.checksum, b.checksum);
+        for (ea, eb) in a.trace.iter().zip(b.trace.iter()) {
+            assert_eq!(ea, eb);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`multitask`] — the round-robin scheduler that interleaves several jobs' streams.
 //! * [`kernels`] — additional embedded kernels (FIR, matmul, histogram, triad) for
 //!   ablations and examples.
+//! * [`mod@corpus`] — the named registry over all of the above, used by search tooling to
+//!   select workloads by string (`ccache tune --workload mpeg-combined`).
 //!
 //! # Example
 //!
@@ -26,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod gzipsim;
 pub mod instrument;
 pub mod kernels;
 pub mod mpeg;
 pub mod multitask;
 
+pub use corpus::{corpus, CORPUS_NAMES};
 pub use gzipsim::{run_gzip, run_gzip_job, GzipConfig};
 pub use instrument::{Tracked, WorkloadRun};
 pub use mpeg::{run_combined, run_dequant, run_idct, run_plus, MpegConfig};
@@ -39,6 +43,7 @@ pub use multitask::{figure5_quanta, round_robin, Job, Schedule};
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {
+    pub use crate::corpus::{corpus, CORPUS_NAMES};
     pub use crate::gzipsim::{run_gzip_job, GzipConfig};
     pub use crate::instrument::{Tracked, WorkloadRun};
     pub use crate::kernels::{run_fir, run_histogram, run_matmul, run_triad};

@@ -12,7 +12,7 @@
 //! that assigns program variables to columns by building a weighted conflict graph and
 //! coloring it.
 //!
-//! This façade crate re-exports the five workspace crates:
+//! This façade crate re-exports the workspace crates:
 //!
 //! | Crate | Contents |
 //! |---|---|
@@ -21,6 +21,7 @@
 //! | [`layout`] (`ccache-layout`) | conflict graph, profile/static weights, exact + heuristic coloring, column assignment, dynamic layout |
 //! | [`workloads`] (`ccache-workloads`) | instrumented MPEG kernels (dequant/plus/idct), gzip-like compressor, FIR/matmul/histogram/triad, round-robin multitasking |
 //! | [`core`] (`ccache-core`) | placement, experiment runners: Figure 4 partition sweep, dynamic column-cache run, Figure 5 multitasking CPI sweep |
+//! | [`opt`] (`ccache-opt`) | autotuning: joint search over cache geometries and column assignments with replay-driven fitness |
 //!
 //! # Quick start
 //!
@@ -40,6 +41,7 @@
 
 pub use ccache_core as core;
 pub use ccache_layout as layout;
+pub use ccache_opt as opt;
 pub use ccache_sim as sim;
 pub use ccache_trace as trace;
 pub use ccache_workloads as workloads;
@@ -48,6 +50,7 @@ pub use ccache_workloads as workloads;
 pub mod prelude {
     pub use ccache_core::prelude::*;
     pub use ccache_layout::prelude::*;
+    pub use ccache_opt::prelude::*;
     pub use ccache_sim::prelude::*;
     pub use ccache_trace::{AccessKind, MemAccess, SymbolTable, Trace, TraceRecorder, VarId};
     pub use ccache_workloads::prelude::*;

@@ -2,10 +2,10 @@
 //!
 //! The binaries (`fig4`, `fig5`, `ablation`) are thin shims over the unified `ccache`
 //! CLI in `ccache-cli`; the experiment scales and figure configurations they and the
-//! Criterion benches share live in [`ccache_cli::scale`] and are re-exported here so
-//! bench code keeps one import path. The Criterion benches measure the wall-clock cost
-//! of the same pipelines so regressions in the simulator or layout algorithms are
-//! visible.
+//! Criterion benches share live in `ccache_exp::scale` (re-exported through
+//! [`ccache_cli::scale`] and again here) so bench code keeps one import path. The
+//! Criterion benches measure the wall-clock cost of the same pipelines so regressions
+//! in the simulator or layout algorithms are visible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

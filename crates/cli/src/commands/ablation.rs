@@ -1,16 +1,23 @@
 //! `ccache ablation` — sensitivity studies beyond the paper's figures.
+//!
+//! Studies 1–3 (replacement policy, column count, layout vs. naive) are presets over
+//! the experiment layer ([`ccache_exp::presets::ablation_spec`]); the printed tables
+//! are reassembled from the pipeline's outcomes and are byte-identical to the
+//! pre-refactor output (golden-tested). Study 4 — remapping a tint versus re-tinting
+//! pages — is a control-plane micro-benchmark with no reference stream, so it runs
+//! directly against a [`MemorySystem`]. With `--format`/`--out` the command also emits
+//! the unified experiment artefact for studies 1–3.
 
 use crate::args::ArgParser;
 use crate::error::CliError;
+use crate::output::{Render, ReportArgs};
 use crate::scale::Scale;
-use ccache_core::partition::{partition_sweep, PartitionConfig};
-use ccache_core::runner::{run_trace, CacheMapping, RegionMapping};
-use ccache_layout::weights::conflict_graph_from_trace;
-use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
-use ccache_sim::{
-    CacheConfig, ColumnMask, LatencyConfig, MemorySystem, ReplacementPolicy, SystemConfig, Tint,
-};
-use ccache_workloads::mpeg::{run_combined, run_idct};
+use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::plan::expand;
+use ccache_exp::presets::ablation_spec;
+use ccache_exp::Artefact;
+use ccache_sim::{ColumnMask, MemorySystem, ReplacementPolicy, Tint};
+use std::fmt::Write as _;
 
 /// Help text for `ccache ablation`.
 pub const USAGE: &str = "\
@@ -24,43 +31,48 @@ Ablation studies beyond the paper's figures:
 
 options:
   --quick, -q       reduced working sets for smoke tests
+  --format FMT      json | csv | markdown: also emit the experiment artefact of
+                    studies 1-3 (study 4 is a control-plane micro-benchmark and
+                    appears in the printed tables only)
+  --out FILE        write the artefact in FMT to FILE instead of stdout
   --help, -h        show this help
 ";
 
-/// Runs the subcommand.
+/// Runs studies 1–3 through the experiment pipeline and renders all four studies as
+/// the legacy report text. Returns the text and the pipeline artefact.
 ///
 /// # Errors
 ///
-/// Fails on usage errors or invalid configurations.
-pub fn run(args: Vec<String>) -> Result<(), CliError> {
-    let mut p = ArgParser::new("ablation", args);
-    if p.flag(&["--help", "-h"]) {
-        print!("{USAGE}");
-        return Ok(());
-    }
-    let scale = Scale::from_parser(&mut p);
-    p.finish()?;
-    let mpeg = scale.mpeg();
+/// Fails on invalid configurations or execution failures.
+pub fn compute(scale: Scale) -> Result<(String, Artefact), CliError> {
+    let spec = ablation_spec();
+    let artefact = ccache_exp::run_spec(
+        &spec,
+        &ExecOptions {
+            quick: scale.is_quick(),
+        },
+    )?;
+    let by_key = artefact.by_key();
+    let expanded = expand(&spec);
+    let mut jobs = expanded.iter();
+    let mut next = || {
+        let job = jobs.next().expect("ablation plan covers every study");
+        *by_key.get(&job.key()).expect("every job has an outcome")
+    };
+    let mut out = String::new();
 
     // ----------------------------------------------------------------- replacement policy
-    println!("## Ablation 1: replacement-policy sensitivity (idct, 2 KB / 4 columns)\n");
-    let idct = run_idct(&mpeg);
-    println!("{:>12} {:>12} {:>10}", "policy", "cycles", "miss rate");
+    let _ = writeln!(
+        out,
+        "## Ablation 1: replacement-policy sensitivity (idct, 2 KB / 4 columns)\n"
+    );
+    let _ = writeln!(out, "{:>12} {:>12} {:>10}", "policy", "cycles", "miss rate");
     for policy in ReplacementPolicy::ALL {
-        let cache = CacheConfig::builder()
-            .capacity_bytes(2048)
-            .columns(4)
-            .line_size(32)
-            .replacement(policy)
-            .build()?;
-        let cfg = SystemConfig {
-            cache,
-            latency: LatencyConfig::default(),
-            page_size: 128,
-            tlb_entries: 64,
+        let JobOutcome::Replay { result, .. } = next() else {
+            unreachable!("study 1 plans plain replays");
         };
-        let result = run_trace(&policy.to_string(), cfg, &CacheMapping::new(), &idct.trace)?;
-        println!(
+        let _ = writeln!(
+            out,
             "{:>12} {:>12} {:>9.1}%",
             policy.to_string(),
             result.total_cycles(),
@@ -69,64 +81,73 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     }
 
     // --------------------------------------------------------------------- column count
-    println!("\n## Ablation 2: column-count sensitivity (combined MPEG app, 2 KB total)\n");
-    let combined = run_combined(&mpeg);
-    println!("{:>8} {:>14} {:>12}", "columns", "best partition", "cycles");
+    let _ = writeln!(
+        out,
+        "\n## Ablation 2: column-count sensitivity (combined MPEG app, 2 KB total)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>12}",
+        "columns", "best partition", "cycles"
+    );
     for columns in [2usize, 4, 8, 16] {
-        let cfg = PartitionConfig {
-            columns,
-            ..PartitionConfig::default()
-        };
-        let sweep = partition_sweep(&combined, &cfg)?;
-        let best = sweep.best();
-        println!(
+        let mut best: Option<(usize, u64)> = None;
+        for _ in 0..=columns {
+            let JobOutcome::Partition { point, .. } = next() else {
+                unreachable!("study 2 plans partition sweeps");
+            };
+            if best.is_none() || point.cycles < best.expect("checked").1 {
+                best = Some((point.cache_columns, point.cycles));
+            }
+        }
+        let (best_cache, best_cycles) = best.expect("sweep has points");
+        let _ = writeln!(
+            out,
             "{:>8} {:>14} {:>12}",
             columns,
-            format!("{} cache cols", best.cache_columns),
-            best.cycles
+            format!("{best_cache} cache cols"),
+            best_cycles
         );
     }
 
     // ------------------------------------------------------------- layout vs naive layout
-    println!("\n## Ablation 3: conflict-graph layout vs. naive round-robin assignment (idct)\n");
-    let weight_opts = WeightOptions::default();
-    let (graph, units) = conflict_graph_from_trace(&idct.trace, &idct.symbols, &weight_opts);
-    let layout = assign_columns(&graph, &LayoutOptions::new(4, 512))?;
-    let sys_cfg = SystemConfig {
-        page_size: 128,
-        ..SystemConfig::default()
-    };
-    let informed = {
-        let mapping = CacheMapping::from_assignment(&layout, &units, &idct.symbols, &[]);
-        run_trace("layout", sys_cfg, &mapping, &idct.trace)?
-    };
-    let naive = {
-        let mut mapping = CacheMapping::new();
-        for (i, unit) in units.iter().enumerate() {
-            if let Some(region) = idct.symbols.region(unit.var) {
-                mapping.map(
-                    region.base + unit.offset,
-                    unit.size,
-                    RegionMapping::Columns {
-                        mask: ColumnMask::single(i % 4),
-                    },
-                );
-            }
+    let _ = writeln!(
+        out,
+        "\n## Ablation 3: conflict-graph layout vs. naive round-robin assignment (idct)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>22} {:>12} {:>10}",
+        "assignment", "cycles", "misses"
+    );
+    let mut layout_info = None;
+    for display in ["shared", "naive", "layout"] {
+        let JobOutcome::Replay { result, layout, .. } = next() else {
+            unreachable!("study 3 plans plain replays");
+        };
+        if layout.is_some() {
+            layout_info = *layout;
         }
-        run_trace("naive", sys_cfg, &mapping, &idct.trace)?
-    };
-    let shared = run_trace("shared", sys_cfg, &CacheMapping::new(), &idct.trace)?;
-    println!("{:>22} {:>12} {:>10}", "assignment", "cycles", "misses");
-    for r in [&shared, &naive, &informed] {
-        println!("{:>22} {:>12} {:>10}", r.name, r.total_cycles(), r.misses);
+        let _ = writeln!(
+            out,
+            "{:>22} {:>12} {:>10}",
+            display,
+            result.total_cycles(),
+            result.misses
+        );
     }
-    println!(
+    let info = layout_info.expect("the heuristic job reports layout statistics");
+    let _ = writeln!(
+        out,
         "layout cost W = {} ({} merges, optimal = {})",
-        layout.cost, layout.merges, layout.optimal
+        info.cost, info.merges, info.optimal
     );
 
     // --------------------------------------------------- tint remap vs page re-tint cost
-    println!("\n## Ablation 4: remapping a tint vs. re-tinting pages (Figure 3 motivation)\n");
+    let _ = writeln!(
+        out,
+        "\n## Ablation 4: remapping a tint vs. re-tinting pages (Figure 3 motivation)\n"
+    );
     let mut system = MemorySystem::with_default_cache();
     // 64 pages of 1 KiB mapped to the default tint.
     for p in 0..64u64 {
@@ -143,21 +164,42 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     let retinted = system.tint_range(0..64 * 1024, Tint(5));
     let retint_writes = system.page_table().entry_writes - before_writes - remap_writes;
     let retint_flushes = system.stats().tlb_flushes - before_flushes - remap_flushes;
-    println!(
+    let _ = writeln!(
+        out,
         "{:>24} {:>18} {:>12}",
         "operation", "page-table writes", "TLB flushes"
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:>24} {:>18} {:>12}",
         "remap tint", remap_writes, remap_flushes
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:>24} {:>18} {:>12}",
         format!("re-tint {retinted} pages"),
         retint_writes,
         retint_flushes
     );
-    Ok(())
+    Ok((out, artefact))
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors or invalid configurations.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("ablation", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let report_args = ReportArgs::from_parser(&mut p)?;
+    p.finish()?;
+    let (text, artefact) = compute(report_args.scale)?;
+    print!("{text}");
+    report_args.emit_if_requested(&artefact as &dyn Render)
 }
 
 #[cfg(test)]

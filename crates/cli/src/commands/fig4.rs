@@ -1,13 +1,19 @@
 //! `ccache fig4` — the Figure 4 partition sweep (and Figure 4(d) dynamic comparison).
+//!
+//! The command is a preset over the experiment layer: it compiles to the
+//! [`ccache_exp::presets::fig4_spec`] spec, runs through the shared plan → execute
+//! pipeline, and reassembles the outcomes into the legacy [`SweepReport`] — whose JSON
+//! artefact is byte-identical to the pre-refactor command (golden-tested).
 
 use crate::args::ArgParser;
 use crate::error::CliError;
-use crate::output::{csv_field, emit, markdown_table, OutputFormat, Render};
-use crate::scale::{figure4_config, Scale};
-use ccache_core::dynamic::{run_dynamic, Figure4dResult};
-use ccache_core::partition::{partition_sweep, PartitionSweep};
+use crate::output::{csv_field, markdown_table, Render, ReportArgs};
+use crate::scale::figure4_config;
+use ccache_core::dynamic::Figure4dResult;
+use ccache_core::partition::PartitionSweep;
 use ccache_core::report::{figure4d_table, partition_table, SweepReport};
-use ccache_workloads::mpeg::{run_combined, run_dequant, run_idct, run_phases, run_plus};
+use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::presets::fig4_spec;
 use std::fmt::Write as _;
 
 /// Help text for `ccache fig4`.
@@ -29,6 +35,64 @@ options:
 
 const ROUTINES: [&str; 5] = ["dequant", "plus", "idct", "combined", "all"];
 
+/// The partition sweeps and dynamic comparison of one Figure 4 run, reassembled from
+/// the pipeline's outcomes in presentation order.
+pub struct Fig4Results {
+    /// One sweep per routine, combined last.
+    pub sweeps: Vec<PartitionSweep>,
+    /// The dynamic run's comparison, when the combined application ran.
+    pub figure4d: Option<Figure4dResult>,
+}
+
+/// Runs the fig4 preset through the experiment pipeline and reassembles the sweeps.
+///
+/// # Errors
+///
+/// Fails on invalid configurations or execution failures.
+pub fn compute(routine: &str, quick: bool) -> Result<Fig4Results, CliError> {
+    let spec = fig4_spec(routine);
+    let artefact = ccache_exp::run_spec(&spec, &ExecOptions { quick })?;
+    let by_key = artefact.by_key();
+
+    let mut sweeps: Vec<PartitionSweep> = Vec::new();
+    let mut dynamic: Option<&ccache_core::dynamic::DynamicRunResult> = None;
+    for job in ccache_exp::plan::expand(&spec) {
+        match by_key.get(&job.key()) {
+            Some(JobOutcome::Partition {
+                workload, point, ..
+            }) => {
+                if sweeps.last().map(|s| s.name.as_str()) != Some(workload.as_str()) {
+                    sweeps.push(PartitionSweep {
+                        name: workload.clone(),
+                        points: Vec::new(),
+                    });
+                }
+                sweeps
+                    .last_mut()
+                    .expect("sweep pushed above")
+                    .points
+                    .push(point.clone());
+            }
+            Some(JobOutcome::Dynamic { run, .. }) => dynamic = Some(run),
+            _ => unreachable!("fig4 plans partition and dynamic jobs only"),
+        }
+    }
+
+    let figure4d = dynamic.map(|run| {
+        let static_sweep = sweeps.last().expect("combined sweep precedes dynamic");
+        Figure4dResult {
+            static_cycles: static_sweep
+                .points
+                .iter()
+                .map(|p| (p.cache_columns, p.cycles))
+                .collect(),
+            column_cache_cycles: run.cycles,
+            column_cache_control_cycles: run.control_cycles,
+        }
+    });
+    Ok(Fig4Results { sweeps, figure4d })
+}
+
 /// Runs the subcommand.
 ///
 /// # Errors
@@ -40,44 +104,28 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
-    let scale = Scale::from_parser(&mut p);
+    let report_args = ReportArgs::from_parser_with_legacy_json(&mut p)?;
     let routine = p.value("--routine")?.unwrap_or_else(|| "all".to_owned());
     if !ROUTINES.contains(&routine.as_str()) {
         return Err(p.usage(format!(
             "invalid value '{routine}' for '--routine' (expected dequant, plus, idct, combined or all)"
         )));
     }
-    let json_path = p.value("--json")?;
-    let format_raw = p.value("--format")?;
-    let out = p.value("--out")?;
-    let format = match &format_raw {
-        Some(raw) => OutputFormat::parse(raw, &p)?,
-        None => OutputFormat::Json,
-    };
     p.finish()?;
 
-    let mpeg = scale.mpeg();
     let config = figure4_config();
     println!(
         "Figure 4 — on-chip memory: {} bytes, {} columns, {}-byte lines, {:?} scale\n",
-        config.capacity_bytes, config.columns, config.line_size, scale
+        config.capacity_bytes, config.columns, config.line_size, report_args.scale
     );
 
-    let mut sweeps: Vec<PartitionSweep> = Vec::new();
-    let mut fig4d: Option<Figure4dResult> = None;
+    let results = compute(&routine, report_args.quick())?;
 
-    let want = |name: &str| routine == "all" || routine == name;
-
-    if want("dequant") {
-        sweeps.push(partition_sweep(&run_dequant(&mpeg), &config)?);
-    }
-    if want("plus") {
-        sweeps.push(partition_sweep(&run_plus(&mpeg), &config)?);
-    }
-    if want("idct") {
-        sweeps.push(partition_sweep(&run_idct(&mpeg), &config)?);
-    }
-    for sweep in &sweeps {
+    // Presentation: per-routine tables with their optimum first, then the combined
+    // application's table and the static-vs-dynamic comparison.
+    let combined = routine == "all" || routine == "combined";
+    let routine_sweeps = results.sweeps.len() - usize::from(combined);
+    for sweep in &results.sweeps[..routine_sweeps] {
         println!("{}", partition_table(sweep));
         println!(
             "-> optimum for {}: {} cache columns / {} scratchpad columns\n",
@@ -86,41 +134,22 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
             sweep.best().scratchpad_columns
         );
     }
-
-    if want("combined") {
-        let combined = run_combined(&mpeg);
-        let static_sweep = partition_sweep(&combined, &config)?;
-        println!("{}", partition_table(&static_sweep));
-        let (phases, symbols) = run_phases(&mpeg);
-        let dynamic = run_dynamic(&phases, &symbols, &config)?;
-        let result = Figure4dResult {
-            static_cycles: static_sweep
-                .points
-                .iter()
-                .map(|p| (p.cache_columns, p.cycles))
-                .collect(),
-            column_cache_cycles: dynamic.cycles,
-            column_cache_control_cycles: dynamic.control_cycles,
-        };
-        println!("{}", figure4d_table(&result));
-        sweeps.push(static_sweep);
-        fig4d = Some(result);
+    if combined {
+        let static_sweep = results.sweeps.last().expect("combined sweep planned");
+        println!("{}", partition_table(static_sweep));
+        println!(
+            "{}",
+            figure4d_table(results.figure4d.as_ref().expect("dynamic job planned"))
+        );
     }
 
     let payload = SweepReport {
         figure: "4".to_owned(),
         config,
-        sweeps,
-        figure4d: fig4d,
+        sweeps: results.sweeps,
+        figure4d: results.figure4d,
     };
-    if let Some(path) = json_path {
-        std::fs::write(&path, payload.to_json_string())?;
-        println!("wrote {path}");
-    }
-    if out.is_some() || format_raw.is_some() {
-        emit(&payload, format, out.as_deref())?;
-    }
-    Ok(())
+    report_args.emit_if_requested(&payload)
 }
 
 impl Render for SweepReport {
@@ -259,5 +288,14 @@ mod tests {
         let err = run(vec!["--routine".to_owned(), "mp3".to_owned()]).unwrap_err();
         assert!(err.to_string().contains("invalid value 'mp3'"));
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn compute_assembles_sweeps_in_presentation_order() {
+        let results = compute("idct", true).unwrap();
+        assert_eq!(results.sweeps.len(), 1);
+        assert_eq!(results.sweeps[0].name, "idct");
+        assert_eq!(results.sweeps[0].points.len(), 5);
+        assert!(results.figure4d.is_none());
     }
 }

@@ -1,11 +1,19 @@
 //! `ccache fig5` — the Figure 5 multitasking CPI-versus-quantum sweep.
+//!
+//! A preset over the experiment layer: the command compiles to
+//! [`ccache_exp::presets::fig5_spec`] (the default multitask grid with this scale's
+//! quanta), runs through the shared pipeline and reassembles the outcomes into the
+//! legacy [`Fig5Report`] — byte-identical JSON to the pre-refactor command
+//! (golden-tested).
 
 use crate::args::ArgParser;
 use crate::error::CliError;
-use crate::output::{csv_field, emit, markdown_table, OutputFormat, Render};
-use crate::scale::{figure5_configs, figure5_jobs, Scale};
-use ccache_core::multitask::{quantum_sweep, QuantumSeries, SharingPolicy};
+use crate::output::{csv_field, markdown_table, Render, ReportArgs};
+use crate::scale::Scale;
+use ccache_core::multitask::QuantumSeries;
 use ccache_core::report::quantum_table;
+use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::presets::fig5_spec;
 use ccache_json::{Json, ToJson};
 use std::fmt::Write as _;
 
@@ -82,6 +90,56 @@ impl Render for Fig5Report {
     }
 }
 
+/// Runs the fig5 preset through the experiment pipeline and reassembles the series,
+/// plus the `(name, references)` of each scheduled job (for the header, so the job
+/// traces are only ever generated once, inside the executor).
+///
+/// # Errors
+///
+/// Fails on invalid configurations or execution failures.
+pub fn compute(scale: Scale) -> Result<(Fig5Report, Vec<(String, u64)>), CliError> {
+    let spec = fig5_spec(scale.quanta());
+    let artefact = ccache_exp::run_spec(
+        &spec,
+        &ExecOptions {
+            quick: scale.is_quick(),
+        },
+    )?;
+    // Every run attributes each job's full reference stream to it, so any outcome
+    // reports the per-job trace lengths.
+    let jobs: Vec<(String, u64)> = match artefact.outcomes.first() {
+        Some(JobOutcome::Multitask { run, .. }) => run
+            .jobs
+            .iter()
+            .map(|j| (j.name.clone(), j.references))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut series: Vec<QuantumSeries> = Vec::new();
+    for outcome in &artefact.outcomes {
+        let JobOutcome::Multitask {
+            series: label,
+            quantum,
+            run,
+        } = outcome
+        else {
+            unreachable!("fig5 plans multitask jobs only");
+        };
+        if series.last().map(|s| s.label.as_str()) != Some(label.as_str()) {
+            series.push(QuantumSeries {
+                label: label.clone(),
+                points: Vec::new(),
+            });
+        }
+        series
+            .last_mut()
+            .expect("series pushed above")
+            .points
+            .push((*quantum, run.critical_job().cpi));
+    }
+    Ok((Fig5Report { series }, jobs))
+}
+
 /// Runs the subcommand.
 ///
 /// # Errors
@@ -93,52 +151,18 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
-    let scale = Scale::from_parser(&mut p);
-    let json_path = p.value("--json")?;
-    let format_raw = p.value("--format")?;
-    let out = p.value("--out")?;
-    let format = match &format_raw {
-        Some(raw) => OutputFormat::parse(raw, &p)?,
-        None => OutputFormat::Json,
-    };
+    let report_args = ReportArgs::from_parser_with_legacy_json(&mut p)?;
     p.finish()?;
+    let scale = report_args.scale;
 
-    let jobs = figure5_jobs(scale);
+    let (report, jobs) = compute(scale)?;
     println!("Figure 5 — three gzip jobs, round-robin, {:?} scale", scale);
-    for j in &jobs {
-        println!("  {}: {} references", j.name, j.trace.len());
+    for (name, references) in &jobs {
+        println!("  {name}: {references} references");
     }
     println!();
-
-    let quanta = scale.quanta();
-    let mut series = Vec::new();
-    for (label, config) in figure5_configs() {
-        series.push(quantum_sweep(
-            &jobs,
-            &quanta,
-            &config,
-            SharingPolicy::Shared,
-            label,
-        )?);
-        series.push(quantum_sweep(
-            &jobs,
-            &quanta,
-            &config,
-            SharingPolicy::Mapped,
-            &format!("{label} mapped"),
-        )?);
-    }
-    println!("{}", quantum_table(&series));
-
-    let report = Fig5Report { series };
-    if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json_text())?;
-        println!("wrote {path}");
-    }
-    if out.is_some() || format_raw.is_some() {
-        emit(&report, format, out.as_deref())?;
-    }
-    Ok(())
+    println!("{}", quantum_table(&report.series));
+    report_args.emit_if_requested(&report)
 }
 
 #[cfg(test)]

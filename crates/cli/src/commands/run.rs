@@ -1,0 +1,170 @@
+//! `ccache run` — execute a declarative experiment spec file.
+//!
+//! The scenario-growth endgame of the experiment layer: instead of a new subcommand,
+//! a new experiment is a new JSON file (see `examples/specs/`). The spec describes a
+//! union of cross-product grids (workloads × backends × geometries × mapping policies,
+//! plus multitask grids); the planner deduplicates the expansion, the executor replays
+//! everything through the batched engine, and the unified artefact is emitted in any
+//! `--format`. Runs are fully deterministic: the same spec and flags produce a
+//! byte-identical artefact (CI diffs repeated runs).
+
+use crate::args::ArgParser;
+use crate::error::CliError;
+use crate::output::{csv_field, markdown_table, Render, ReportArgs};
+use ccache_exp::exec::ExecOptions;
+use ccache_exp::spec::ExperimentSpec;
+use ccache_exp::Artefact;
+use ccache_json::ToJson;
+use std::fmt::Write as _;
+
+/// Help text for `ccache run`.
+pub const USAGE: &str = "\
+usage: ccache run SPEC.json [options]
+
+Runs a declarative experiment spec: a JSON file describing grids of
+(workload x backend x geometry x mapping policy) replays and multitask sweeps.
+The grids are expanded, deduplicated (the same configuration is never replayed
+twice), executed through the batched replay engine and reported as one artefact.
+Plan statistics go to stderr so a piped stdout stays machine-readable.
+
+options:
+  --quick, -q       reduced working sets for smoke tests
+  --format FMT      json | csv | markdown (default: json)
+  --out FILE        write the artefact in FMT to FILE instead of stdout
+  --help, -h        show this help
+
+See examples/specs/ for ready-made scenarios and DESIGN.md for the spec schema.
+";
+
+impl Render for Artefact {
+    fn to_json_text(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    fn to_csv(&self) -> String {
+        let (header, rows) = self.summary_rows();
+        let mut out = header.join(",");
+        out.push('\n');
+        for row in rows {
+            let fields: Vec<String> = row.iter().map(|f| csv_field(f)).collect();
+            let _ = writeln!(out, "{}", fields.join(","));
+        }
+        out
+    }
+
+    fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## Experiment `{}` — {} jobs ({} expanded)\n\n",
+            self.spec.name,
+            self.jobs.len(),
+            self.expanded
+        );
+        let (header, rows) = self.summary_rows();
+        out.push_str(&markdown_table(&header, &rows));
+        out
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Fails on usage errors, unreadable or invalid spec files, and execution failures.
+pub fn run(args: Vec<String>) -> Result<(), CliError> {
+    let mut p = ArgParser::new("run", args);
+    if p.flag(&["--help", "-h"]) {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let report_args = ReportArgs::from_parser(&mut p)?;
+    let spec_path = p.positional("spec file (e.g. examples/specs/backend-shootout.json)")?;
+    p.finish()?;
+
+    let text = std::fs::read_to_string(&spec_path)?;
+    let spec = ExperimentSpec::parse_str(&text)?;
+    let plan = ccache_exp::plan(&spec);
+    eprintln!(
+        "experiment '{}': {} jobs planned ({} expanded, {} deduplicated), {:?} scale",
+        spec.name,
+        plan.len(),
+        plan.expanded,
+        plan.expanded - plan.len(),
+        report_args.scale
+    );
+    let outcomes = ccache_exp::execute(
+        &plan,
+        &ExecOptions {
+            quick: report_args.quick(),
+        },
+    )?;
+    let artefact = Artefact::new(spec, report_args.quick(), plan, outcomes);
+    report_args.emit(&artefact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_spec_files_are_io_errors() {
+        let err = run(vec!["definitely-missing.json".to_owned()]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn missing_positional_is_a_usage_error() {
+        let err = run(Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("spec file"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn invalid_specs_fail_with_the_spec_reason() {
+        let dir = std::env::temp_dir().join("ccache-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"name\": \"x\"}").unwrap();
+        let err = run(vec![path.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.to_string().contains("at least one"));
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn artefact_renders_every_format_deterministically() {
+        let dir = std::env::temp_dir().join("ccache-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "tiny", "replay": [{"workloads": ["fir"],
+                "policies": ["shared", "heuristic"], "label": "policy"}]}"#,
+        )
+        .unwrap();
+        for format in ["json", "csv", "markdown"] {
+            let out_a = dir.join(format!("a.{format}"));
+            let out_b = dir.join(format!("b.{format}"));
+            for out in [&out_a, &out_b] {
+                run(vec![
+                    path.to_string_lossy().into_owned(),
+                    "--quick".to_owned(),
+                    "--format".to_owned(),
+                    format.to_owned(),
+                    "--out".to_owned(),
+                    out.to_string_lossy().into_owned(),
+                ])
+                .unwrap();
+            }
+            let a = std::fs::read_to_string(&out_a).unwrap();
+            let b = std::fs::read_to_string(&out_b).unwrap();
+            assert_eq!(a, b, "{format} artefact must be deterministic");
+            match format {
+                "json" => {
+                    assert!(a.contains("\"artefact\": \"ccache-exp\""));
+                    assert!(a.contains("\"label\": \"heuristic\""));
+                }
+                "csv" => assert!(a.starts_with("type,label,quantum")),
+                _ => assert!(a.contains("## Experiment `tiny`")),
+            }
+        }
+    }
+}

@@ -3,17 +3,19 @@
 //! This is the generic, scriptable counterpart of the figure commands: point it at any
 //! trace file (binary or text) and it replays the reference stream on the column cache,
 //! the set-associative baseline and the ideal scratchpad, reporting cycles, CPI and miss
-//! rates side by side. Binary traces are replayed **streaming** through
-//! [`ReplayEngine::replay_reader`], so the file may be larger than memory.
+//! rates side by side. The command is a preset over the experiment layer
+//! ([`ccache_exp::presets::sweep_spec`]); binary traces are still replayed
+//! **streaming**, so the file may be larger than memory.
 
 use crate::args::ArgParser;
 use crate::backend::backends_from_parser;
 use crate::error::CliError;
-use crate::output::{emit, BackendSweepReport, OutputFormat};
-use ccache_core::engine::ReplayEngine;
+use crate::output::{BackendSweepReport, ReportArgs};
 use ccache_core::RunResult;
-use ccache_sim::{CacheConfig, LatencyConfig, SystemConfig};
-use ccache_trace::binfmt::TraceReader;
+use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::presets::sweep_spec;
+use ccache_exp::spec::{GeometrySpec, LatencyPreset};
+use ccache_sim::ReplacementPolicy;
 
 /// Help text for `ccache sweep`.
 pub const USAGE: &str = "\
@@ -52,59 +54,46 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         None => return Err(p.usage("missing required flag '--trace FILE'")),
     };
     let backends = backends_from_parser(&mut p, "--backend")?;
-    let capacity = p.parsed::<u64>("--capacity")?.unwrap_or(2048);
-    let columns = p.parsed::<usize>("--columns")?.unwrap_or(4);
-    let line = p.parsed::<u64>("--line")?.unwrap_or(32);
-    let page = p.parsed::<u64>("--page")?.unwrap_or(128);
-    let tlb = p.parsed::<usize>("--tlb")?.unwrap_or(64);
-    let format = OutputFormat::from_parser(&mut p)?;
-    let out = p.value("--out")?;
+    let geometry = GeometrySpec {
+        capacity: p.parsed::<u64>("--capacity")?.unwrap_or(2048),
+        columns: p.parsed::<usize>("--columns")?.unwrap_or(4),
+        line: p.parsed::<u64>("--line")?.unwrap_or(32),
+        page: p.parsed::<u64>("--page")?.unwrap_or(128),
+        tlb: p.parsed::<usize>("--tlb")?.unwrap_or(64),
+        replacement: ReplacementPolicy::Lru,
+        latency: LatencyPreset::Default,
+    };
+    let report_args = ReportArgs::from_parser(&mut p)?;
     p.finish()?;
 
-    let cache = CacheConfig::builder()
-        .capacity_bytes(capacity)
-        .columns(columns)
-        .line_size(line)
-        .build()?;
-    let config = SystemConfig {
-        cache,
-        latency: LatencyConfig::default(),
-        page_size: page,
-        tlb_entries: tlb,
-    };
+    // Validate the geometry before touching the trace file, as the command always did.
+    geometry.system_config()?;
 
-    let binary = ccache_trace::binfmt::is_binary_trace_file(&trace_path)?;
-    // Text traces are small and hand-written; binary traces stream per backend so the
-    // file never has to fit in memory.
-    let in_memory = if binary {
-        None
-    } else {
-        Some(ccache_trace::textfmt::read_trace(std::io::BufReader::new(
-            std::fs::File::open(&trace_path)?,
-        ))?)
-    };
+    let spec = sweep_spec(&trace_path, backends, geometry);
+    let artefact = ccache_exp::run_spec(
+        &spec,
+        &ExecOptions {
+            quick: report_args.quick(),
+        },
+    )?;
 
-    let mut runs: Vec<RunResult> = Vec::new();
-    let mut events = 0u64;
-    for kind in &backends {
-        let mut engine = ReplayEngine::new(*kind, config)?;
-        let result = match &in_memory {
-            Some(trace) => engine.replay(&kind.to_string(), trace),
-            None => {
-                let mut reader = TraceReader::open(&trace_path)?;
-                engine.replay_reader(&kind.to_string(), &mut reader)?
-            }
-        };
-        events = result.references;
-        runs.push(result);
-    }
-
+    let runs: Vec<RunResult> = artefact
+        .outcomes
+        .iter()
+        .map(|outcome| {
+            let JobOutcome::Replay { result, .. } = outcome else {
+                unreachable!("sweep plans plain replays only");
+            };
+            result.clone()
+        })
+        .collect();
+    let events = runs.last().map(|r| r.references).unwrap_or(0);
     let report = BackendSweepReport {
         trace: trace_path,
         events,
         runs,
     };
-    emit(&report, format, out.as_deref())
+    report_args.emit(&report)
 }
 
 #[cfg(test)]

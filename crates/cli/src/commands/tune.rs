@@ -10,7 +10,7 @@
 use crate::args::ArgParser;
 use crate::backend::backend_from_parser;
 use crate::error::CliError;
-use crate::output::{csv_field, emit, markdown_table, OutputFormat, Render};
+use crate::output::{csv_field, markdown_table, Render, ReportArgs};
 use ccache_json::{Json, ToJson};
 use ccache_opt::{tune, GeometrySearch, StrategyKind, TuneOutcome, TuneRequest};
 use ccache_sim::backend::BackendKind;
@@ -62,7 +62,8 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         print!("{USAGE}");
         return Ok(());
     }
-    let quick = p.flag(&["--quick", "-q"]);
+    let report_args = ReportArgs::from_parser(&mut p)?;
+    let quick = report_args.quick();
     let workload = p.value("--workload")?;
     let trace_path = p.value("--trace")?;
     if workload.is_some() && trace_path.is_some() {
@@ -87,8 +88,6 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     let line = p.parsed::<u64>("--line")?.unwrap_or(32);
     let page = p.parsed::<u64>("--page")?.unwrap_or(128);
     let tlb = p.parsed::<usize>("--tlb")?.unwrap_or(64);
-    let format = OutputFormat::from_parser(&mut p)?;
-    let out = p.value("--out")?;
 
     let cache = CacheConfig::builder()
         .capacity_bytes(capacity)
@@ -165,7 +164,7 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         workload: name,
         outcome,
     };
-    emit(&report, format, out.as_deref())
+    report_args.emit(&report)
 }
 
 /// The report of a `ccache tune` run.

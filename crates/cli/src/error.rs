@@ -13,6 +13,8 @@ pub enum CliError {
     Core(ccache_core::CoreError),
     /// A simulator configuration was rejected.
     Sim(ccache_sim::SimError),
+    /// The experiment layer rejected a spec or failed a job.
+    Exp(ccache_exp::ExpError),
     /// Reading or writing a file failed, including trace-format violations.
     Io(std::io::Error),
 }
@@ -38,6 +40,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Core(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Exp(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -49,6 +52,7 @@ impl std::error::Error for CliError {
             CliError::Usage(_) => None,
             CliError::Core(e) => Some(e),
             CliError::Sim(e) => Some(e),
+            CliError::Exp(e) => Some(e),
             CliError::Io(e) => Some(e),
         }
     }
@@ -69,6 +73,19 @@ impl From<ccache_sim::SimError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<ccache_exp::ExpError> for CliError {
+    fn from(e: ccache_exp::ExpError) -> Self {
+        // Unwrap the layers the CLI already has variants for, so error text and exit
+        // codes stay what they were before commands routed through the pipeline.
+        match e {
+            ccache_exp::ExpError::Core(e) => CliError::Core(e),
+            ccache_exp::ExpError::Sim(e) => CliError::Sim(e),
+            ccache_exp::ExpError::Io(e) => CliError::Io(e),
+            other => CliError::Exp(other),
+        }
     }
 }
 

@@ -7,8 +7,9 @@
 //! ```text
 //! ccache fig4 [--routine R] [--quick] [--json F | --format FMT --out F]
 //! ccache fig5 [--quick] [--json F | --format FMT --out F]
-//! ccache ablation [--quick]
+//! ccache ablation [--quick] [--format FMT --out F]
 //! ccache sweep --trace FILE [--backend KIND] [--capacity N] ...
+//! ccache run SPEC.json [--quick] [--format FMT --out F]
 //! ccache trace record --gen KIND --out FILE
 //! ccache trace info FILE
 //! ccache trace convert IN OUT
@@ -18,9 +19,13 @@
 //! The figure binaries in `ccache-bench` are thin shims over [`run`], so
 //! `cargo run -p ccache-bench --bin fig4 -- --quick` and
 //! `cargo run -p ccache-cli -- fig4 --quick` execute the same code and produce
-//! byte-identical artefacts. Shared behaviour lives here once: `--quick` scale handling
-//! ([`scale`]), `--format json|csv|markdown` / `--out` rendering ([`output`]) and flag
-//! parsing with uniform unknown-flag errors ([`args`]).
+//! byte-identical artefacts. The experiment commands — `fig4`, `fig5`, `ablation`,
+//! `sweep` — are presets over the declarative pipeline in `ccache-exp`: they compile to
+//! an `ExperimentSpec`, run through the shared planner/executor and reassemble their
+//! legacy reports byte-identically (golden-tested in `tests/golden_parity.rs`);
+//! `ccache run` executes any spec file through the same pipeline. Shared behaviour
+//! lives here once: `--quick`/`--format`/`--out` handling ([`output::ReportArgs`]) and
+//! flag parsing with uniform unknown-flag errors ([`args`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,7 +38,7 @@ pub mod output;
 pub mod scale;
 
 pub use error::CliError;
-pub use output::OutputFormat;
+pub use output::{OutputFormat, ReportArgs};
 pub use scale::{figure4_config, figure5_configs, figure5_jobs, Scale};
 
 /// Top-level help text.
@@ -45,6 +50,7 @@ commands:
   fig5      Figure 5: CPI vs. context-switch quantum (gzip multitasking)
   ablation  sensitivity studies beyond the paper's figures
   sweep     replay a trace file across memory backends
+  run       execute a declarative experiment spec (examples/specs/*.json)
   trace     record, inspect and convert trace files
   tune      autotune cache geometry and column assignments for a workload
   help      show this help
@@ -70,6 +76,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         "fig5" => commands::fig5::run(args),
         "ablation" => commands::ablation::run(args),
         "sweep" => commands::sweep::run(args),
+        "run" => commands::run::run(args),
         "trace" => commands::trace::run(args),
         "tune" => commands::tune::run(args),
         "help" | "--help" | "-h" => {

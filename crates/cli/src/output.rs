@@ -1,13 +1,17 @@
-//! Shared output handling: `--format json|csv|markdown` and `--out FILE`.
+//! Shared output handling: `--format json|csv|markdown`, `--out FILE`, `--quick` and
+//! the legacy `--json FILE`, parsed once through [`ReportArgs`].
 //!
 //! Every subcommand that produces a machine-readable artefact renders it through
 //! [`Render`]: JSON comes from the deterministic `ccache-json` document model (so two
 //! equal reports serialize byte-identically), CSV is a flat long-format table, and
 //! markdown is a pipe table for pasting into notes. [`emit`] routes the rendered text to
-//! stdout or to the `--out` file.
+//! stdout or to the `--out` file. The flag boilerplate that used to be repeated across
+//! every command — scale, format, output path, uniform exit-2 usage errors — lives in
+//! [`ReportArgs`] exactly once.
 
 use crate::args::ArgParser;
 use crate::error::CliError;
+use crate::scale::{scale_from_parser, Scale};
 use ccache_json::ToJson;
 use std::fmt::Write as _;
 
@@ -50,6 +54,101 @@ impl OutputFormat {
             Some(raw) => OutputFormat::parse(&raw, parser),
             None => Ok(OutputFormat::Json),
         }
+    }
+}
+
+/// The shared report arguments of every reporting subcommand: `--quick`/`-q` (the
+/// experiment [`Scale`]), `--format FMT`, `--out FILE` and — for the figure commands
+/// that keep their original flag — the legacy `--json FILE`.
+///
+/// All values are consumed from the [`ArgParser`] with the uniform exit-2 usage-error
+/// shape, so no command can drift in how it reports a bad `--format` value.
+#[derive(Debug, Clone)]
+pub struct ReportArgs {
+    /// The experiment scale (`--quick` selects [`Scale::Quick`]).
+    pub scale: Scale,
+    /// The requested output format (default JSON).
+    pub format: OutputFormat,
+    /// The `--out` path, when given.
+    pub out: Option<String>,
+    /// Whether `--format` was given explicitly (drives conditional emission).
+    format_given: bool,
+    /// The legacy `--json FILE` path, when the command accepts it and it was given.
+    json_path: Option<String>,
+}
+
+impl ReportArgs {
+    /// Parses `--quick`, `--format` and `--out` (no legacy `--json` flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns exit-2 usage errors for unknown formats or missing values.
+    pub fn from_parser(parser: &mut ArgParser) -> Result<Self, CliError> {
+        Self::parse(parser, false)
+    }
+
+    /// Parses `--quick`, `--json FILE`, `--format` and `--out` (the figure commands).
+    ///
+    /// # Errors
+    ///
+    /// Returns exit-2 usage errors for unknown formats or missing values.
+    pub fn from_parser_with_legacy_json(parser: &mut ArgParser) -> Result<Self, CliError> {
+        Self::parse(parser, true)
+    }
+
+    fn parse(parser: &mut ArgParser, legacy_json: bool) -> Result<Self, CliError> {
+        let scale = scale_from_parser(parser);
+        let json_path = if legacy_json {
+            parser.value("--json")?
+        } else {
+            None
+        };
+        let format_raw = parser.value("--format")?;
+        let out = parser.value("--out")?;
+        let format = match &format_raw {
+            Some(raw) => OutputFormat::parse(raw, parser)?,
+            None => OutputFormat::Json,
+        };
+        Ok(ReportArgs {
+            scale,
+            format,
+            out,
+            format_given: format_raw.is_some(),
+            json_path,
+        })
+    }
+
+    /// Whether the quick scale was selected.
+    pub fn quick(&self) -> bool {
+        self.scale.is_quick()
+    }
+
+    /// Emits the report unconditionally (stdout, or `--out FILE`), in the requested
+    /// format — the behaviour of `sweep`, `tune` and `run`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn emit(&self, report: &dyn Render) -> Result<(), CliError> {
+        emit(report, self.format, self.out.as_deref())
+    }
+
+    /// The figure-command behaviour: writes the legacy `--json FILE` artefact when that
+    /// flag was given, and renders via `--format`/`--out` only when one of those flags
+    /// appeared — so a bare `ccache fig4` still prints tables only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write errors.
+    pub fn emit_if_requested(&self, report: &dyn Render) -> Result<(), CliError> {
+        if let Some(path) = &self.json_path {
+            std::fs::write(path, report.to_json_text())?;
+            println!("wrote {path}");
+        }
+        if self.format_given || self.out.is_some() {
+            self.emit(report)?;
+        }
+        Ok(())
     }
 }
 
@@ -264,6 +363,46 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn report_args_parse_the_shared_flags() {
+        let mut p = ArgParser::new(
+            "fig4",
+            [
+                "--quick", "--json", "a.json", "--format", "csv", "--out", "b.csv",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        let args = ReportArgs::from_parser_with_legacy_json(&mut p).unwrap();
+        p.finish().unwrap();
+        assert!(args.quick());
+        assert_eq!(args.format, OutputFormat::Csv);
+        assert_eq!(args.out.as_deref(), Some("b.csv"));
+        assert_eq!(args.json_path.as_deref(), Some("a.json"));
+
+        // Without the legacy flag, --json stays unconsumed and is an unknown flag.
+        let mut p = ArgParser::new(
+            "sweep",
+            ["--json", "a.json"].iter().map(|s| s.to_string()).collect(),
+        );
+        let args = ReportArgs::from_parser(&mut p).unwrap();
+        assert!(args.json_path.is_none());
+        assert!(p.finish().is_err());
+    }
+
+    #[test]
+    fn report_args_reject_bad_formats_with_exit_2() {
+        let mut p = ArgParser::new(
+            "run",
+            ["--format", "yaml"].iter().map(|s| s.to_string()).collect(),
+        );
+        let err = ReportArgs::from_parser(&mut p).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("invalid value 'yaml'"));
+        assert!(err.to_string().contains("try 'ccache run --help'"));
     }
 
     #[test]

@@ -1,94 +1,22 @@
-//! Experiment scales and the fixed figure configurations, shared by every subcommand,
-//! the figure shims and the Criterion benches.
+//! Experiment scales and the fixed figure configurations — re-exported from the
+//! experiment layer.
 //!
-//! This module used to live in `ccache-bench`; it moved here so the CLI, the thin
-//! figure binaries and the benches all resolve `--quick` and the paper's configurations
-//! through one definition.
+//! The definitions moved from `ccache-bench` to this crate (PR 2) and on into
+//! `ccache-exp` (this PR), so the spec layer, the CLI, the thin figure binaries and the
+//! Criterion benches all resolve `--quick` and the paper's configurations through one
+//! definition. This module keeps the CLI-facing import path (and the benches' re-export
+//! path) stable, and adds the one CLI-specific piece: consuming `--quick` from an
+//! [`ArgParser`].
+
+pub use ccache_exp::scale::{figure4_config, figure5_configs, figure5_jobs, Scale};
 
 use crate::args::ArgParser;
-use ccache_core::multitask::MultitaskConfig;
-use ccache_core::partition::PartitionConfig;
-use ccache_workloads::gzipsim::{run_gzip_job, GzipConfig};
-use ccache_workloads::mpeg::MpegConfig;
-use ccache_workloads::multitask::Job;
 
-/// Scale of an experiment run: `Paper` uses the full working sets, `Quick` shrinks them so
-/// smoke tests and CI finish fast while preserving every qualitative shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Full-size experiment (matches the configuration described in DESIGN.md).
-    Paper,
-    /// Reduced-size experiment for quick runs.
-    Quick,
-}
-
-impl Scale {
-    /// Consumes the `--quick`/`-q` flag from an [`ArgParser`]. The scale is `Quick`
-    /// exactly when the flag appears as its own whole argument — substrings do not
-    /// count, so a path like `out/quick.json` must not flip the scale.
-    pub fn from_parser(parser: &mut ArgParser) -> Self {
-        if parser.flag(&["--quick", "-q"]) {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
-    /// The MPEG workload configuration for this scale.
-    pub fn mpeg(self) -> MpegConfig {
-        match self {
-            Scale::Paper => MpegConfig::default(),
-            Scale::Quick => MpegConfig::small(),
-        }
-    }
-
-    /// The gzip job configuration for this scale.
-    pub fn gzip(self) -> GzipConfig {
-        match self {
-            Scale::Paper => GzipConfig::default(),
-            Scale::Quick => GzipConfig {
-                input_len: 4 * 1024,
-                ..GzipConfig::default()
-            },
-        }
-    }
-
-    /// The quantum sweep for this scale (the paper sweeps 1 to 1 M in powers of 4).
-    pub fn quanta(self) -> Vec<usize> {
-        let max_pow = match self {
-            Scale::Paper => 10,
-            Scale::Quick => 7,
-        };
-        (0..=max_pow).map(|p| 4usize.pow(p)).collect()
-    }
-}
-
-/// The Figure 4 experiment configuration (2 KB, 4 columns, 32-byte lines).
-pub fn figure4_config() -> PartitionConfig {
-    PartitionConfig::default()
-}
-
-/// The Figure 5 cache configurations: (label, config) for 16 KiB and 128 KiB.
-pub fn figure5_configs() -> Vec<(&'static str, MultitaskConfig)> {
-    vec![
-        ("gzip.16k", MultitaskConfig::cache_16k()),
-        ("gzip.128k", MultitaskConfig::cache_128k()),
-    ]
-}
-
-/// Builds the three gzip jobs of Figure 5 with disjoint address spaces.
-pub fn figure5_jobs(scale: Scale) -> Vec<Job> {
-    let base_cfg = scale.gzip();
-    (0..3u64)
-        .map(|j| {
-            let run = run_gzip_job(
-                &base_cfg.with_seed(41 + j),
-                0x100_0000 * (j + 1),
-                &format!("gzip-{}", (b'A' + j as u8) as char),
-            );
-            Job::new(run.name.clone(), run.trace)
-        })
-        .collect()
+/// Consumes the `--quick`/`-q` flag from an [`ArgParser`]. The scale is `Quick` exactly
+/// when the flag appears as its own whole argument — substrings do not count, so a path
+/// like `out/quick.json` must not flip the scale.
+pub fn scale_from_parser(parser: &mut ArgParser) -> Scale {
+    Scale::from_quick(parser.flag(&["--quick", "-q"]))
 }
 
 #[cfg(test)]
@@ -99,56 +27,21 @@ mod tests {
     fn scale_from_parser_consumes_the_flag() {
         for quick in ["--quick", "-q"] {
             let mut p = ArgParser::new("fig4", vec![quick.to_owned()]);
-            assert_eq!(Scale::from_parser(&mut p), Scale::Quick);
+            assert_eq!(scale_from_parser(&mut p), Scale::Quick);
             p.finish().unwrap();
         }
         let mut p = ArgParser::new("fig4", Vec::new());
-        assert_eq!(Scale::from_parser(&mut p), Scale::Paper);
+        assert_eq!(scale_from_parser(&mut p), Scale::Paper);
         // a flag is a whole-argument match, not a substring match — near-misses stay
         // Paper scale and are reported as unknown arguments instead
         for not_a_flag in ["out/quick.json", "--quicker", "quick", "notquick"] {
             let mut p = ArgParser::new("fig4", vec![not_a_flag.to_owned()]);
             assert_eq!(
-                Scale::from_parser(&mut p),
+                scale_from_parser(&mut p),
                 Scale::Paper,
                 "{not_a_flag:?} must not select the quick scale"
             );
             assert!(p.finish().is_err());
         }
-    }
-
-    #[test]
-    fn quick_scale_is_smaller_but_same_shape() {
-        let quick = Scale::Quick.mpeg();
-        let paper = Scale::Paper.mpeg();
-        assert!(quick.idct_blocks < paper.idct_blocks);
-        assert!(quick.idct_blocks * 128 > 2048);
-        assert!(Scale::Quick.quanta().len() < Scale::Paper.quanta().len());
-        assert!(Scale::Quick.gzip().input_len < Scale::Paper.gzip().input_len);
-    }
-
-    #[test]
-    fn figure5_jobs_have_disjoint_address_spaces() {
-        let jobs = figure5_jobs(Scale::Quick);
-        assert_eq!(jobs.len(), 3);
-        let spans: Vec<(u64, u64)> = jobs
-            .iter()
-            .map(|j| {
-                let s = j.trace.stats();
-                (s.min_addr, s.max_addr)
-            })
-            .collect();
-        assert!(spans[0].1 < spans[1].0);
-        assert!(spans[1].1 < spans[2].0);
-    }
-
-    #[test]
-    fn figure_configs_match_paper_parameters() {
-        let f4 = figure4_config();
-        assert_eq!(f4.capacity_bytes, 2048);
-        assert_eq!(f4.columns, 4);
-        let f5 = figure5_configs();
-        assert_eq!(f5[0].1.capacity_bytes, 16 * 1024);
-        assert_eq!(f5[1].1.capacity_bytes, 128 * 1024);
     }
 }

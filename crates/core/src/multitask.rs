@@ -30,18 +30,19 @@ pub struct MultitaskConfig {
     pub critical_job_columns: usize,
 }
 
-impl MultitaskConfig {
-    /// The latency model used by the Figure 5 experiment: a deeper memory hierarchy than
-    /// the 2 KiB on-chip memory of Figure 4, so misses are more expensive.
-    fn figure5_latency() -> LatencyConfig {
-        LatencyConfig {
-            miss_penalty: 60,
-            writeback_penalty: 30,
-            uncached_latency: 70,
-            ..LatencyConfig::default()
-        }
+/// The latency model used by the Figure 5 experiment: a deeper memory hierarchy than
+/// the 2 KiB on-chip memory of Figure 4, so misses are more expensive. Public so the
+/// experiment layer (`ccache-exp`) can offer it as a named preset.
+pub fn figure5_latency() -> LatencyConfig {
+    LatencyConfig {
+        miss_penalty: 60,
+        writeback_penalty: 30,
+        uncached_latency: 70,
+        ..LatencyConfig::default()
     }
+}
 
+impl MultitaskConfig {
     /// The 16 KiB configuration of Figure 5 (8 columns of 2 KiB). The critical job is
     /// "exclusively assigned a large fraction of the cache" — 6 of the 8 columns — so its
     /// hot working set fits in its private columns.
@@ -51,7 +52,7 @@ impl MultitaskConfig {
             columns: 8,
             line_size: 32,
             page_size: 1024,
-            latency: Self::figure5_latency(),
+            latency: figure5_latency(),
             critical_job_columns: 6,
         }
     }
@@ -63,7 +64,7 @@ impl MultitaskConfig {
             columns: 8,
             line_size: 32,
             page_size: 1024,
-            latency: Self::figure5_latency(),
+            latency: figure5_latency(),
             critical_job_columns: 4,
         }
     }

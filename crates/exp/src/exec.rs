@@ -1,0 +1,664 @@
+//! The executor: run a [`Plan`] through the batched replay engine.
+//!
+//! Jobs are grouped by (workload, backend, geometry): each group builds one
+//! [`ReplayEngine`], snapshots the pristine state once and then `reset` → `apply` →
+//! `replay`s every mapping policy of the group from that snapshot — the optimizer inner
+//! loop of `ccache-opt`, reused for declarative grids. Groups run thread-parallel (the
+//! `parallel` feature) through the order-preserving `par_map`, so the outcome vector —
+//! and therefore the serialized artefact — is byte-identical with parallelism on or
+//! off.
+//!
+//! Jobs that manage their own system construction (partition points, phase remaps,
+//! tuning runs, multitask schedules, streaming trace files) run as singleton groups
+//! through the same experiment functions the legacy commands used, which is what makes
+//! the CLI presets byte-identical to their pre-refactor output.
+
+use crate::error::ExpError;
+use crate::plan::{JobUnit, MultitaskJob, Plan, ReplayJob};
+use crate::scale::Scale;
+use crate::spec::{GeometrySpec, PolicySpec, WorkloadSel};
+use ccache_core::dynamic::{run_dynamic, DynamicRunResult};
+use ccache_core::engine::ReplayEngine;
+use ccache_core::multitask::{run_multitasking, MultitaskRun};
+use ccache_core::partition::{run_partition_point_on, PartitionPoint};
+use ccache_core::runner::{CacheMapping, RegionMapping, RunResult};
+use ccache_layout::weights::conflict_graph_from_trace;
+use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
+use ccache_opt::{tune, GeometrySearch, TuneOutcome, TuneRequest};
+use ccache_sim::backend::BackendKind;
+use ccache_sim::ColumnMask;
+use ccache_trace::{SymbolTable, Trace};
+use ccache_workloads::gzipsim::run_gzip_job;
+use ccache_workloads::multitask::Job;
+use ccache_workloads::WorkloadRun;
+use std::collections::BTreeMap;
+
+/// Options applied at execution time (not part of the spec).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Build workloads at the reduced quick scale.
+    pub quick: bool,
+}
+
+impl ExecOptions {
+    /// The workload scale these options select.
+    pub fn scale(&self) -> Scale {
+        Scale::from_quick(self.quick)
+    }
+}
+
+/// The layout-algorithm statistics of a heuristic mapping (the paper's cost `W`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutInfo {
+    /// Total cost `W` of the assignment.
+    pub cost: u64,
+    /// Number of vertex merges the algorithm performed.
+    pub merges: usize,
+    /// Whether the assignment is provably optimal (no merges were forced).
+    pub optimal: bool,
+}
+
+/// The result of one executed job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// A plain replay (shared, heuristic, round-robin or fixed mapping).
+    Replay {
+        /// The job label (also the result's `name`).
+        label: String,
+        /// The replay statistics.
+        result: RunResult,
+        /// Layout statistics, when the mapping came from the layout algorithm.
+        layout: Option<LayoutInfo>,
+    },
+    /// One Figure 4 partition point.
+    Partition {
+        /// The job label.
+        label: String,
+        /// The workload's display name (e.g. `"dequant"`).
+        workload: String,
+        /// The partition-point result.
+        point: PartitionPoint,
+    },
+    /// A dynamically remapped (per-phase) run.
+    Dynamic {
+        /// The job label.
+        label: String,
+        /// The per-phase results and totals.
+        run: DynamicRunResult,
+    },
+    /// A tuning run (search over column assignments at fixed geometry).
+    Tuned {
+        /// The job label.
+        label: String,
+        /// The full search outcome.
+        outcome: TuneOutcome,
+    },
+    /// One multitask schedule replay.
+    Multitask {
+        /// The series label this point belongs to.
+        series: String,
+        /// The context-switch quantum.
+        quantum: usize,
+        /// The run's per-job metrics.
+        run: MultitaskRun,
+    },
+}
+
+impl JobOutcome {
+    /// The outcome's label (series label for multitask points).
+    pub fn label(&self) -> &str {
+        match self {
+            JobOutcome::Replay { label, .. }
+            | JobOutcome::Partition { label, .. }
+            | JobOutcome::Dynamic { label, .. }
+            | JobOutcome::Tuned { label, .. } => label,
+            JobOutcome::Multitask { series, .. } => series,
+        }
+    }
+}
+
+/// Workloads and schedules loaded once per execution, shared read-only by the workers.
+struct Context {
+    /// Corpus entries by name.
+    corpus: BTreeMap<String, WorkloadRun>,
+    /// Materialized trace files by (path, page, line) — symbols are inferred with the
+    /// geometry's page/line granularity, exactly like `ccache tune --trace`.
+    traces: BTreeMap<(String, u64, u64), WorkloadRun>,
+    /// The MPEG phase recordings, when a dynamic job needs them.
+    phases: Option<(Vec<(String, Trace)>, SymbolTable)>,
+    /// Multitask job sets by canonical descriptor.
+    schedules: BTreeMap<String, Vec<Job>>,
+}
+
+/// Cache key of a materialized trace file: the path plus the values symbol inference
+/// actually depends on, so geometries differing only in a sub-4096 page size share one
+/// loaded copy.
+fn trace_key(path: &str, geometry: &GeometrySpec) -> (String, u64, u64) {
+    (path.to_owned(), geometry.page.max(4096), geometry.line)
+}
+
+fn schedule_key(jobs: &[crate::spec::GzipJobSpec]) -> String {
+    use ccache_json::ToJson;
+    ccache_json::Json::arr(jobs.iter().map(|j| j.to_json())).compact()
+}
+
+/// Whether a replay job streams its trace from disk instead of materialising it:
+/// shared-policy replays of binary trace files (the `ccache sweep` path).
+fn is_streaming(job: &ReplayJob) -> Result<bool, ExpError> {
+    match (&job.workload, &job.policy) {
+        (WorkloadSel::Trace { path }, PolicySpec::Shared) => {
+            Ok(ccache_trace::binfmt::is_binary_trace_file(path)?)
+        }
+        _ => Ok(false),
+    }
+}
+
+impl Context {
+    fn load(plan: &Plan, opts: &ExecOptions) -> Result<Self, ExpError> {
+        let scale = opts.scale();
+        let mut ctx = Context {
+            corpus: BTreeMap::new(),
+            traces: BTreeMap::new(),
+            phases: None,
+            schedules: BTreeMap::new(),
+        };
+        for unit in &plan.jobs {
+            match unit {
+                JobUnit::Replay(job) => {
+                    if let PolicySpec::DynamicPhases = job.policy {
+                        match &job.workload {
+                            WorkloadSel::Corpus { name } if name == "mpeg-combined" => {
+                                if ctx.phases.is_none() {
+                                    ctx.phases =
+                                        Some(ccache_workloads::mpeg::run_phases(&scale.mpeg()));
+                                }
+                            }
+                            other => {
+                                return Err(ExpError::BadSpec {
+                                    reason: format!(
+                                        "the 'dynamic' policy needs recorded phases; only \
+                                         the 'mpeg-combined' corpus workload has them \
+                                         (got '{}')",
+                                        other.short()
+                                    ),
+                                })
+                            }
+                        }
+                        continue;
+                    }
+                    if is_streaming(job)? {
+                        continue;
+                    }
+                    match &job.workload {
+                        WorkloadSel::Corpus { name } => {
+                            if let std::collections::btree_map::Entry::Vacant(slot) =
+                                ctx.corpus.entry(name.clone())
+                            {
+                                // The JSON path validates names at parse time, but specs
+                                // can also be built programmatically — fail cleanly.
+                                let run = ccache_workloads::corpus(name, opts.quick).ok_or_else(
+                                    || ExpError::BadSpec {
+                                        reason: format!(
+                                            "unknown workload '{name}' (expected one of: {})",
+                                            ccache_workloads::CORPUS_NAMES.join(", ")
+                                        ),
+                                    },
+                                )?;
+                                slot.insert(run);
+                            }
+                        }
+                        WorkloadSel::Trace { path } => {
+                            let key = trace_key(path, &job.geometry);
+                            if let std::collections::btree_map::Entry::Vacant(slot) =
+                                ctx.traces.entry(key)
+                            {
+                                let trace = load_trace(path)?;
+                                let symbols = ccache_trace::infer::infer_symbols(
+                                    &trace,
+                                    job.geometry.page.max(4096),
+                                    job.geometry.line,
+                                );
+                                slot.insert(WorkloadRun {
+                                    name: path.clone(),
+                                    trace,
+                                    symbols,
+                                    checksum: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+                JobUnit::Multitask(job) => {
+                    ctx.schedules
+                        .entry(schedule_key(&job.jobs))
+                        .or_insert_with(|| {
+                            let base_cfg = scale.gzip();
+                            job.jobs
+                                .iter()
+                                .map(|j| {
+                                    let run =
+                                        run_gzip_job(&base_cfg.with_seed(j.seed), j.base, &j.name);
+                                    Job::new(run.name.clone(), run.trace)
+                                })
+                                .collect()
+                        });
+                }
+            }
+        }
+        Ok(ctx)
+    }
+
+    fn workload(&self, job: &ReplayJob) -> Result<&WorkloadRun, ExpError> {
+        match &job.workload {
+            WorkloadSel::Corpus { name } => {
+                self.corpus.get(name).ok_or_else(|| ExpError::BadSpec {
+                    reason: format!("workload '{name}' was not preloaded"),
+                })
+            }
+            WorkloadSel::Trace { path } => self
+                .traces
+                .get(&trace_key(path, &job.geometry))
+                .ok_or_else(|| ExpError::BadSpec {
+                    reason: format!("trace '{path}' was not preloaded"),
+                }),
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, ExpError> {
+    if ccache_trace::binfmt::is_binary_trace_file(path)? {
+        let mut reader = ccache_trace::binfmt::TraceReader::open(path)?;
+        Ok(reader.read_to_trace()?)
+    } else {
+        Ok(ccache_trace::textfmt::read_trace(std::io::BufReader::new(
+            std::fs::File::open(path)?,
+        ))?)
+    }
+}
+
+/// Builds the cache mapping of a policy over a loaded workload.
+fn build_mapping(
+    policy: &PolicySpec,
+    workload: &WorkloadRun,
+    geometry: &GeometrySpec,
+) -> Result<(CacheMapping, Option<LayoutInfo>), ExpError> {
+    let column_bytes = geometry.capacity / geometry.columns.max(1) as u64;
+    let weight_opts = WeightOptions {
+        column_bytes,
+        split_large_variables: true,
+        min_accesses: 1,
+    };
+    match policy {
+        PolicySpec::Shared => Ok((CacheMapping::new(), None)),
+        PolicySpec::Heuristic => {
+            let (graph, units) =
+                conflict_graph_from_trace(&workload.trace, &workload.symbols, &weight_opts);
+            let layout =
+                assign_columns(&graph, &LayoutOptions::new(geometry.columns, column_bytes))
+                    .map_err(ccache_core::CoreError::from)?;
+            let mapping = CacheMapping::from_assignment(&layout, &units, &workload.symbols, &[]);
+            Ok((
+                mapping,
+                Some(LayoutInfo {
+                    cost: layout.cost,
+                    merges: layout.merges,
+                    optimal: layout.optimal,
+                }),
+            ))
+        }
+        PolicySpec::RoundRobin => {
+            let (_, units) =
+                conflict_graph_from_trace(&workload.trace, &workload.symbols, &weight_opts);
+            let mut mapping = CacheMapping::new();
+            for (i, unit) in units.iter().enumerate() {
+                if let Some(region) = workload.symbols.region(unit.var) {
+                    mapping.map(
+                        region.base + unit.offset,
+                        unit.size,
+                        RegionMapping::Columns {
+                            mask: ColumnMask::single(i % geometry.columns.max(1)),
+                        },
+                    );
+                }
+            }
+            Ok((mapping, None))
+        }
+        PolicySpec::Fixed { assignment } => {
+            let mut mapping = CacheMapping::new();
+            for (name, cols) in assignment {
+                let region = workload
+                    .symbols
+                    .iter()
+                    .find(|r| &r.name == name)
+                    .ok_or_else(|| ExpError::BadSpec {
+                        reason: format!(
+                            "fixed assignment names unknown variable '{name}' \
+                             (workload '{}')",
+                            workload.name
+                        ),
+                    })?;
+                mapping.map(
+                    region.base,
+                    region.size,
+                    RegionMapping::Columns {
+                        mask: ColumnMask::from_columns(cols.iter().copied()),
+                    },
+                );
+            }
+            Ok((mapping, None))
+        }
+        PolicySpec::Partition { .. }
+        | PolicySpec::PartitionSweep
+        | PolicySpec::DynamicPhases
+        | PolicySpec::Tuned { .. } => Err(ExpError::BadSpec {
+            reason: format!(
+                "policy '{}' does not reduce to a single cache mapping",
+                policy.short()
+            ),
+        }),
+    }
+}
+
+/// A contiguous work unit handed to one worker: either an engine-sharing group of
+/// mapping replays or a single self-contained job.
+struct Group {
+    /// Whether the jobs share one engine (reset/apply/replay from a snapshot).
+    engine: bool,
+    jobs: Vec<usize>,
+}
+
+fn group_jobs(plan: &Plan) -> Result<Vec<Group>, ExpError> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, unit) in plan.jobs.iter().enumerate() {
+        let key = match unit {
+            JobUnit::Replay(job)
+                if matches!(
+                    job.policy,
+                    PolicySpec::Shared
+                        | PolicySpec::Heuristic
+                        | PolicySpec::RoundRobin
+                        | PolicySpec::Fixed { .. }
+                ) && !is_streaming(job)? =>
+            {
+                use ccache_json::ToJson;
+                format!(
+                    "engine|{}|{}|{}",
+                    job.workload.to_json().compact(),
+                    job.backend,
+                    job.geometry.to_json().compact()
+                )
+            }
+            _ => format!("single|{idx}"),
+        };
+        match groups.get_mut(&key) {
+            Some(list) => list.push(idx),
+            None => {
+                order.push(key.clone());
+                groups.insert(key, vec![idx]);
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|key| Group {
+            engine: key.starts_with("engine|"),
+            jobs: groups.remove(&key).expect("group recorded"),
+        })
+        .collect())
+}
+
+fn run_replay_group(
+    indices: &[usize],
+    plan: &Plan,
+    ctx: &Context,
+) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
+    let first = match &plan.jobs[indices[0]] {
+        JobUnit::Replay(job) => job,
+        JobUnit::Multitask(_) => unreachable!("engine groups hold replay jobs"),
+    };
+    let workload = ctx.workload(first)?;
+    let config = first.geometry.system_config()?;
+    let mut engine = ReplayEngine::new(first.backend, config)?;
+    engine.snapshot();
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let job = match &plan.jobs[idx] {
+            JobUnit::Replay(job) => job,
+            JobUnit::Multitask(_) => unreachable!("engine groups hold replay jobs"),
+        };
+        engine.reset();
+        let (mapping, layout) = build_mapping(&job.policy, workload, &job.geometry)?;
+        engine.apply(&mapping)?;
+        let result = engine.replay(&job.label, &workload.trace);
+        out.push((
+            idx,
+            JobOutcome::Replay {
+                label: job.label.clone(),
+                result,
+                layout,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+fn run_single(
+    idx: usize,
+    plan: &Plan,
+    ctx: &Context,
+) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
+    let outcome = match &plan.jobs[idx] {
+        JobUnit::Replay(job) => match &job.policy {
+            PolicySpec::Shared => {
+                // A streaming replay: the trace file never has to fit in memory.
+                let path = match &job.workload {
+                    WorkloadSel::Trace { path } => path,
+                    WorkloadSel::Corpus { .. } => {
+                        unreachable!("corpus shared jobs run in engine groups")
+                    }
+                };
+                let mut engine = ReplayEngine::new(job.backend, job.geometry.system_config()?)?;
+                let mut reader = ccache_trace::binfmt::TraceReader::open(path)?;
+                let result = engine.replay_reader(&job.label, &mut reader)?;
+                JobOutcome::Replay {
+                    label: job.label.clone(),
+                    result,
+                    layout: None,
+                }
+            }
+            PolicySpec::Partition { cache_columns } => {
+                let workload = ctx.workload(job)?;
+                let point = run_partition_point_on(
+                    job.backend,
+                    workload,
+                    &job.geometry.partition_config(),
+                    *cache_columns,
+                )?;
+                JobOutcome::Partition {
+                    label: job.label.clone(),
+                    workload: workload.name.clone(),
+                    point,
+                }
+            }
+            PolicySpec::DynamicPhases => {
+                let (phases, symbols) = ctx.phases.as_ref().expect("phases preloaded");
+                let run = run_dynamic(phases, symbols, &job.geometry.partition_config())?;
+                JobOutcome::Dynamic {
+                    label: job.label.clone(),
+                    run,
+                }
+            }
+            PolicySpec::Tuned {
+                strategy,
+                budget,
+                seed,
+            } => {
+                let workload = ctx.workload(job)?;
+                let request = TuneRequest {
+                    template: job.geometry.system_config()?,
+                    geometry: GeometrySearch::fixed(),
+                    strategy: *strategy,
+                    budget: *budget,
+                    seed: *seed,
+                    serial: false,
+                    forced: Vec::new(),
+                    baseline: BackendKind::SetAssociative,
+                };
+                let outcome = tune(&workload.trace, &workload.symbols, &request)?;
+                JobOutcome::Tuned {
+                    label: job.label.clone(),
+                    outcome,
+                }
+            }
+            other => {
+                return Err(ExpError::BadSpec {
+                    reason: format!("policy '{}' escaped the planner", other.short()),
+                })
+            }
+        },
+        JobUnit::Multitask(job) => run_multitask_job(job, ctx)?,
+    };
+    Ok(vec![(idx, outcome)])
+}
+
+fn run_multitask_job(job: &MultitaskJob, ctx: &Context) -> Result<JobOutcome, ExpError> {
+    let jobs = ctx
+        .schedules
+        .get(&schedule_key(&job.jobs))
+        .expect("schedules preloaded");
+    let run = run_multitasking(jobs, job.quantum, &job.config.config(), job.policy)?;
+    Ok(JobOutcome::Multitask {
+        series: job.series.clone(),
+        quantum: job.quantum,
+        run,
+    })
+}
+
+/// Executes every job of a plan, returning outcomes **in plan order**.
+///
+/// # Errors
+///
+/// Fails on unloadable workloads/traces, invalid configurations or impossible policies;
+/// the first error (in plan order) is reported.
+pub fn execute(plan: &Plan, opts: &ExecOptions) -> Result<Vec<JobOutcome>, ExpError> {
+    let ctx = Context::load(plan, opts)?;
+    let groups = group_jobs(plan)?;
+    let results = ccache_core::parallel::par_map(&groups, |group| {
+        if group.engine {
+            run_replay_group(&group.jobs, plan, &ctx)
+        } else {
+            run_single(group.jobs[0], plan, &ctx)
+        }
+    });
+    let mut indexed: Vec<(usize, JobOutcome)> = Vec::with_capacity(plan.jobs.len());
+    for group in results {
+        indexed.extend(group?);
+    }
+    indexed.sort_by_key(|(idx, _)| *idx);
+    debug_assert!(indexed.iter().enumerate().all(|(i, (idx, _))| i == *idx));
+    Ok(indexed.into_iter().map(|(_, outcome)| outcome).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use crate::spec::{ExperimentSpec, LabelScheme, ReplayGrid};
+
+    fn quick() -> ExecOptions {
+        ExecOptions { quick: true }
+    }
+
+    fn fir_grid(policies: Vec<PolicySpec>) -> ExperimentSpec {
+        ExperimentSpec {
+            name: "t".into(),
+            replay: vec![ReplayGrid {
+                workloads: vec![WorkloadSel::Corpus { name: "fir".into() }],
+                policies,
+                label: LabelScheme::Policy,
+                ..ReplayGrid::default()
+            }],
+            multitask: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn engine_groups_match_fresh_engine_replays() {
+        // The same policies through the grouped executor and through one-off engines
+        // must produce identical statistics.
+        let spec = fir_grid(vec![
+            PolicySpec::Shared,
+            PolicySpec::Heuristic,
+            PolicySpec::RoundRobin,
+        ]);
+        let p = plan(&spec);
+        let outcomes = execute(&p, &quick()).unwrap();
+        assert_eq!(outcomes.len(), 3);
+
+        let workload = ccache_workloads::corpus("fir", true).unwrap();
+        let geometry = GeometrySpec::default();
+        for (outcome, policy) in outcomes.iter().zip([
+            PolicySpec::Shared,
+            PolicySpec::Heuristic,
+            PolicySpec::RoundRobin,
+        ]) {
+            let JobOutcome::Replay { result, layout, .. } = outcome else {
+                panic!("expected replay outcomes");
+            };
+            let (mapping, _) = build_mapping(&policy, &workload, &geometry).unwrap();
+            let fresh = ccache_core::runner::run_trace_on(
+                BackendKind::ColumnCache,
+                &policy.short(),
+                geometry.system_config().unwrap(),
+                &mapping,
+                &workload.trace,
+            )
+            .unwrap();
+            assert_eq!(result.total_cycles(), fresh.total_cycles());
+            assert_eq!(result.misses, fresh.misses);
+            assert_eq!(layout.is_some(), matches!(policy, PolicySpec::Heuristic));
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let spec = fir_grid(vec![PolicySpec::Shared, PolicySpec::Heuristic]);
+        let p = plan(&spec);
+        let a = execute(&p, &quick()).unwrap();
+        let b = execute(&p, &quick()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let (JobOutcome::Replay { result: rx, .. }, JobOutcome::Replay { result: ry, .. }) =
+                (x, y)
+            else {
+                panic!("expected replay outcomes");
+            };
+            assert_eq!(rx, ry);
+        }
+    }
+
+    #[test]
+    fn fixed_assignments_with_unknown_variables_fail_cleanly() {
+        let spec = fir_grid(vec![PolicySpec::Fixed {
+            assignment: vec![("no_such_var".into(), vec![0])],
+        }]);
+        let p = plan(&spec);
+        let err = execute(&p, &quick()).unwrap_err();
+        assert!(err.to_string().contains("no_such_var"));
+    }
+
+    #[test]
+    fn dynamic_requires_the_mpeg_application() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            replay: vec![ReplayGrid {
+                workloads: vec![WorkloadSel::Corpus { name: "fir".into() }],
+                policies: vec![PolicySpec::DynamicPhases],
+                ..ReplayGrid::default()
+            }],
+            multitask: Vec::new(),
+        };
+        let err = execute(&plan(&spec), &quick()).unwrap_err();
+        assert!(err.to_string().contains("mpeg-combined"));
+    }
+}

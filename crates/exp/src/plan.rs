@@ -1,0 +1,324 @@
+//! The planner: expand an [`ExperimentSpec`] into a deduplicated, ordered job list.
+//!
+//! Expansion is a plain nested cross product — workloads × backends × geometries ×
+//! policies for replay grids (in that nesting order), configs × policies × quanta for
+//! multitask grids — with two planner-level rewrites:
+//!
+//! * [`PolicySpec::PartitionSweep`] expands into `Partition { 0..=columns }` of the
+//!   geometry it is crossed with (the Figure 4 sweep);
+//! * policies that fix their own backend ([`PolicySpec::DynamicPhases`] and
+//!   [`PolicySpec::Tuned`] always run the column cache) are canonicalized to it, so a
+//!   backend axis does not multiply them into identical work.
+//!
+//! **Dedup guarantee** (mirroring the `ccache-opt` fitness cache): two expanded jobs
+//! with the same canonical descriptor — same workload, backend, geometry, mapping
+//! policy, label (and quantum/config for multitask) — are planned **once**. The plan
+//! keeps first-occurrence order and never drops a distinct job; this is property-tested
+//! in `tests/properties.rs`.
+
+use crate::spec::{
+    ExperimentSpec, GeometrySpec, GzipJobSpec, MtConfigSpec, PolicySpec, WorkloadSel,
+};
+use ccache_core::multitask::SharingPolicy;
+use ccache_json::{Json, ToJson};
+use ccache_sim::backend::BackendKind;
+use std::collections::HashSet;
+
+/// One planned replay: a single trace replay under one configuration and mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayJob {
+    /// The workload to replay.
+    pub workload: WorkloadSel,
+    /// The backend to replay on.
+    pub backend: BackendKind,
+    /// The cache geometry.
+    pub geometry: GeometrySpec,
+    /// The mapping policy (never `PartitionSweep`; the planner expands it).
+    pub policy: PolicySpec,
+    /// The run label (becomes the result's `name`).
+    pub label: String,
+}
+
+/// One planned multitask run: one schedule replay at one quantum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultitaskJob {
+    /// The scheduled jobs (job 0 is the critical job).
+    pub jobs: Vec<GzipJobSpec>,
+    /// The cache configuration.
+    pub config: MtConfigSpec,
+    /// The sharing policy.
+    pub policy: SharingPolicy,
+    /// The context-switch quantum.
+    pub quantum: usize,
+    /// The series label this point belongs to (config label, `" mapped"`-suffixed).
+    pub series: String,
+}
+
+/// A planned unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobUnit {
+    /// A single trace replay.
+    Replay(ReplayJob),
+    /// A single multitask schedule replay.
+    Multitask(MultitaskJob),
+}
+
+impl JobUnit {
+    /// The canonical JSON descriptor of this job (echoed into the artefact).
+    pub fn descriptor(&self) -> Json {
+        match self {
+            JobUnit::Replay(j) => Json::obj([
+                ("type", "replay".to_json()),
+                ("workload", j.workload.to_json()),
+                ("backend", j.backend.to_string().to_json()),
+                ("geometry", j.geometry.to_json()),
+                ("policy", j.policy.to_json()),
+                ("label", j.label.to_json()),
+            ]),
+            JobUnit::Multitask(j) => Json::obj([
+                ("type", "multitask".to_json()),
+                ("jobs", j.jobs.to_json()),
+                ("config", j.config.to_json()),
+                (
+                    "policy",
+                    match j.policy {
+                        SharingPolicy::Shared => "shared".to_json(),
+                        SharingPolicy::Mapped => "mapped".to_json(),
+                    },
+                ),
+                ("quantum", j.quantum.to_json()),
+                ("series", j.series.to_json()),
+            ]),
+        }
+    }
+
+    /// The canonical dedup key: the compact descriptor text.
+    pub fn key(&self) -> String {
+        self.descriptor().compact()
+    }
+
+    /// The display label of the job.
+    pub fn label(&self) -> &str {
+        match self {
+            JobUnit::Replay(j) => &j.label,
+            JobUnit::Multitask(j) => &j.series,
+        }
+    }
+}
+
+/// The output of planning: deduplicated jobs in first-occurrence order.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The jobs to execute, in order.
+    pub jobs: Vec<JobUnit>,
+    /// Number of jobs the grids expanded to before dedup.
+    pub expanded: usize,
+}
+
+impl Plan {
+    /// Number of planned (deduplicated) jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Expands a spec into the raw (pre-dedup) job sequence. Public for the dedup property
+/// tests; [`plan`] is the interface the executor consumes.
+pub fn expand(spec: &ExperimentSpec) -> Vec<JobUnit> {
+    let mut out = Vec::new();
+    for grid in &spec.replay {
+        for workload in &grid.workloads {
+            for &backend in &grid.backends {
+                for geometry in &grid.geometries {
+                    for policy in &grid.policies {
+                        expand_policy(&mut out, grid, workload, backend, geometry, policy);
+                    }
+                }
+            }
+        }
+    }
+    for grid in &spec.multitask {
+        for config in &grid.configs {
+            for &policy in &grid.policies {
+                let series = match policy {
+                    SharingPolicy::Shared => config.label.clone(),
+                    SharingPolicy::Mapped => format!("{} mapped", config.label),
+                };
+                for &quantum in &grid.quanta {
+                    out.push(JobUnit::Multitask(MultitaskJob {
+                        jobs: grid.jobs.clone(),
+                        config: config.clone(),
+                        policy,
+                        quantum,
+                        series: series.clone(),
+                    }));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn expand_policy(
+    out: &mut Vec<JobUnit>,
+    grid: &crate::spec::ReplayGrid,
+    workload: &WorkloadSel,
+    backend: BackendKind,
+    geometry: &GeometrySpec,
+    policy: &PolicySpec,
+) {
+    if let PolicySpec::PartitionSweep = policy {
+        for cache_columns in 0..=geometry.columns {
+            expand_policy(
+                out,
+                grid,
+                workload,
+                backend,
+                geometry,
+                &PolicySpec::Partition { cache_columns },
+            );
+        }
+        return;
+    }
+    // Policies that always run on the column cache are canonicalized to it, so a
+    // backend axis cannot fan them out into identical replays.
+    let backend = match policy {
+        PolicySpec::DynamicPhases | PolicySpec::Tuned { .. } => BackendKind::ColumnCache,
+        _ => backend,
+    };
+    let label = match grid.label {
+        crate::spec::LabelScheme::Full => format!(
+            "{}/{}/{}/{}",
+            workload.short(),
+            backend,
+            geometry.short(),
+            policy.short()
+        ),
+        crate::spec::LabelScheme::Workload => workload.short().to_owned(),
+        crate::spec::LabelScheme::Backend => backend.to_string(),
+        crate::spec::LabelScheme::Policy => policy.short(),
+    };
+    out.push(JobUnit::Replay(ReplayJob {
+        workload: workload.clone(),
+        backend,
+        geometry: *geometry,
+        policy: policy.clone(),
+        label,
+    }));
+}
+
+/// Plans a spec: expands every grid and deduplicates by canonical key, keeping
+/// first-occurrence order.
+pub fn plan(spec: &ExperimentSpec) -> Plan {
+    let expanded = expand(spec);
+    let total = expanded.len();
+    let mut seen: HashSet<String> = HashSet::with_capacity(total);
+    let mut jobs = Vec::with_capacity(total);
+    for job in expanded {
+        if seen.insert(job.key()) {
+            jobs.push(job);
+        }
+    }
+    Plan {
+        jobs,
+        expanded: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ReplayGrid;
+
+    fn corpus(name: &str) -> WorkloadSel {
+        WorkloadSel::Corpus {
+            name: name.to_owned(),
+        }
+    }
+
+    #[test]
+    fn partition_sweep_expands_per_geometry_columns() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            replay: vec![ReplayGrid {
+                workloads: vec![corpus("fir")],
+                geometries: vec![
+                    GeometrySpec {
+                        columns: 2,
+                        ..GeometrySpec::default()
+                    },
+                    GeometrySpec::default(),
+                ],
+                policies: vec![PolicySpec::PartitionSweep],
+                ..ReplayGrid::default()
+            }],
+            multitask: Vec::new(),
+        };
+        let p = plan(&spec);
+        // 0..=2 for the 2-column geometry, 0..=4 for the 4-column one.
+        assert_eq!(p.len(), 3 + 5);
+        assert_eq!(p.expanded, 8);
+    }
+
+    #[test]
+    fn duplicate_axis_entries_plan_once() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            replay: vec![
+                ReplayGrid {
+                    workloads: vec![corpus("fir"), corpus("fir")],
+                    ..ReplayGrid::default()
+                },
+                // A second grid repeating the same configuration entirely.
+                ReplayGrid {
+                    workloads: vec![corpus("fir")],
+                    ..ReplayGrid::default()
+                },
+            ],
+            multitask: Vec::new(),
+        };
+        let p = plan(&spec);
+        assert_eq!(p.expanded, 3);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn backend_axis_does_not_multiply_column_only_policies() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            replay: vec![ReplayGrid {
+                workloads: vec![corpus("mpeg-combined")],
+                backends: BackendKind::ALL.to_vec(),
+                policies: vec![PolicySpec::DynamicPhases, PolicySpec::Shared],
+                ..ReplayGrid::default()
+            }],
+            multitask: Vec::new(),
+        };
+        let p = plan(&spec);
+        // dynamic collapses to one job; shared stays one per backend.
+        assert_eq!(p.len(), 1 + 3);
+    }
+
+    #[test]
+    fn multitask_series_labels_follow_policy() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            replay: Vec::new(),
+            multitask: vec![crate::spec::MultitaskGrid {
+                quanta: vec![1, 4],
+                ..crate::spec::MultitaskGrid::default()
+            }],
+        };
+        let p = plan(&spec);
+        assert_eq!(p.len(), 2 * 2 * 2); // configs × policies × quanta
+        let labels: Vec<&str> = p.jobs.iter().map(|j| j.label()).collect();
+        assert!(labels.contains(&"gzip.16k"));
+        assert!(labels.contains(&"gzip.16k mapped"));
+        assert!(labels.contains(&"gzip.128k mapped"));
+    }
+}

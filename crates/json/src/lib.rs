@@ -3,7 +3,8 @@
 //! The workspace writes figure data (`SweepReport`, Figure 5 series) as JSON files. The
 //! build environment is offline, so instead of `serde`/`serde_json` this crate provides a
 //! small explicit document model: build a [`Json`] value (usually through the [`ToJson`]
-//! trait) and render it with [`Json::pretty`]. Key order is exactly insertion order and
+//! trait) and render it with [`Json::pretty`], or read one back with [`Json::parse`]
+//! (experiment specs are JSON files). Key order is exactly insertion order and
 //! formatting is deterministic, so two structurally equal reports serialize to
 //! byte-identical text — the property the parallel-sweep tests rely on.
 //!
@@ -19,6 +20,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod parse;
+
+pub use parse::ParseError;
 
 use std::fmt::Write as _;
 

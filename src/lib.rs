@@ -22,6 +22,7 @@
 //! | [`workloads`] (`ccache-workloads`) | instrumented MPEG kernels (dequant/plus/idct), gzip-like compressor, FIR/matmul/histogram/triad, round-robin multitasking |
 //! | [`core`] (`ccache-core`) | placement, experiment runners: Figure 4 partition sweep, dynamic column-cache run, Figure 5 multitasking CPI sweep |
 //! | [`opt`] (`ccache-opt`) | autotuning: joint search over cache geometries and column assignments with replay-driven fitness |
+//! | [`exp`] (`ccache-exp`) | declarative experiment layer: JSON specs, deduplicating planner, parallel executor, unified artefacts |
 //!
 //! # Quick start
 //!
@@ -40,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use ccache_core as core;
+pub use ccache_exp as exp;
 pub use ccache_layout as layout;
 pub use ccache_opt as opt;
 pub use ccache_sim as sim;

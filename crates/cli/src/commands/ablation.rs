@@ -12,7 +12,7 @@ use crate::args::ArgParser;
 use crate::error::CliError;
 use crate::output::{Render, ReportArgs};
 use crate::scale::Scale;
-use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::exec::JobOutcome;
 use ccache_exp::plan::expand;
 use ccache_exp::presets::ablation_spec;
 use ccache_exp::Artefact;
@@ -46,12 +46,10 @@ options:
 /// Fails on invalid configurations or execution failures.
 pub fn compute(scale: Scale) -> Result<(String, Artefact), CliError> {
     let spec = ablation_spec();
-    let artefact = ccache_exp::run_spec(
-        &spec,
-        &ExecOptions {
-            quick: scale.is_quick(),
-        },
-    )?;
+    let session = column_caching::Session::builder()
+        .quick(scale.is_quick())
+        .build()?;
+    let artefact = session.run_spec(&spec)?;
     let by_key = artefact.by_key();
     let expanded = expand(&spec);
     let mut jobs = expanded.iter();

@@ -12,7 +12,7 @@ use crate::scale::figure4_config;
 use ccache_core::dynamic::Figure4dResult;
 use ccache_core::partition::PartitionSweep;
 use ccache_core::report::{figure4d_table, partition_table, SweepReport};
-use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::exec::JobOutcome;
 use ccache_exp::presets::fig4_spec;
 use std::fmt::Write as _;
 
@@ -51,7 +51,8 @@ pub struct Fig4Results {
 /// Fails on invalid configurations or execution failures.
 pub fn compute(routine: &str, quick: bool) -> Result<Fig4Results, CliError> {
     let spec = fig4_spec(routine);
-    let artefact = ccache_exp::run_spec(&spec, &ExecOptions { quick })?;
+    let session = column_caching::Session::builder().quick(quick).build()?;
+    let artefact = session.run_spec(&spec)?;
     let by_key = artefact.by_key();
 
     let mut sweeps: Vec<PartitionSweep> = Vec::new();

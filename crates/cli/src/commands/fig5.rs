@@ -12,7 +12,7 @@ use crate::output::{csv_field, markdown_table, Render, ReportArgs};
 use crate::scale::Scale;
 use ccache_core::multitask::QuantumSeries;
 use ccache_core::report::quantum_table;
-use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::exec::JobOutcome;
 use ccache_exp::presets::fig5_spec;
 use ccache_json::{Json, ToJson};
 use std::fmt::Write as _;
@@ -99,12 +99,10 @@ impl Render for Fig5Report {
 /// Fails on invalid configurations or execution failures.
 pub fn compute(scale: Scale) -> Result<(Fig5Report, Vec<(String, u64)>), CliError> {
     let spec = fig5_spec(scale.quanta());
-    let artefact = ccache_exp::run_spec(
-        &spec,
-        &ExecOptions {
-            quick: scale.is_quick(),
-        },
-    )?;
+    let session = column_caching::Session::builder()
+        .quick(scale.is_quick())
+        .build()?;
+    let artefact = session.run_spec(&spec)?;
     // Every run attributes each job's full reference stream to it, so any outcome
     // reports the per-job trace lengths.
     let jobs: Vec<(String, u64)> = match artefact.outcomes.first() {

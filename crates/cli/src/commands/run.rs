@@ -11,10 +11,10 @@
 use crate::args::ArgParser;
 use crate::error::CliError;
 use crate::output::{csv_field, markdown_table, Render, ReportArgs};
-use ccache_exp::exec::ExecOptions;
 use ccache_exp::spec::ExperimentSpec;
 use ccache_exp::Artefact;
 use ccache_json::ToJson;
+use column_caching::Session;
 use std::fmt::Write as _;
 
 /// Help text for `ccache run`.
@@ -29,12 +29,27 @@ Plan statistics go to stderr so a piped stdout stays machine-readable.
 
 options:
   --quick, -q       reduced working sets for smoke tests
+  --observe window=N
+                    attach a streaming observer: every replay and dynamic job
+                    gains a windowed miss-rate/CPI 'time_series' block (one
+                    sample per N references, plus phase/remap events)
   --format FMT      json | csv | markdown (default: json)
   --out FILE        write the artefact in FMT to FILE instead of stdout
   --help, -h        show this help
 
 See examples/specs/ for ready-made scenarios and DESIGN.md for the spec schema.
 ";
+
+/// Parses the `--observe` value: `window=N` (or bare `N`), with N >= 1.
+fn parse_observe(raw: &str, parser: &ArgParser) -> Result<u64, CliError> {
+    let digits = raw.strip_prefix("window=").unwrap_or(raw);
+    match digits.parse::<u64>() {
+        Ok(window) if window >= 1 => Ok(window),
+        _ => Err(parser.usage(format!(
+            "invalid value '{raw}' for '--observe' (expected window=N with N >= 1)"
+        ))),
+    }
+}
 
 impl Render for Artefact {
     fn to_json_text(&self) -> String {
@@ -77,6 +92,10 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         return Ok(());
     }
     let report_args = ReportArgs::from_parser(&mut p)?;
+    let observe = match p.value("--observe")? {
+        None => None,
+        Some(raw) => Some(parse_observe(&raw, &p)?),
+    };
     let spec_path = p.positional("spec file (e.g. examples/specs/backend-shootout.json)")?;
     p.finish()?;
 
@@ -91,13 +110,12 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         plan.expanded - plan.len(),
         report_args.scale
     );
-    let outcomes = ccache_exp::execute(
-        &plan,
-        &ExecOptions {
-            quick: report_args.quick(),
-        },
-    )?;
-    let artefact = Artefact::new(spec, report_args.quick(), plan, outcomes);
+    let mut builder = Session::builder().quick(report_args.quick());
+    if let Some(window) = observe {
+        builder = builder.observe(window);
+    }
+    // run_plan reuses the plan computed for the narration above — no second expansion.
+    let artefact = builder.build()?.run_plan(&spec, plan)?;
     report_args.emit(&artefact)
 }
 

@@ -12,7 +12,7 @@ use crate::backend::backends_from_parser;
 use crate::error::CliError;
 use crate::output::{BackendSweepReport, ReportArgs};
 use ccache_core::RunResult;
-use ccache_exp::exec::{ExecOptions, JobOutcome};
+use ccache_exp::exec::JobOutcome;
 use ccache_exp::presets::sweep_spec;
 use ccache_exp::spec::{GeometrySpec, LatencyPreset};
 use ccache_sim::ReplacementPolicy;
@@ -66,16 +66,14 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     let report_args = ReportArgs::from_parser(&mut p)?;
     p.finish()?;
 
-    // Validate the geometry before touching the trace file, as the command always did.
-    geometry.system_config()?;
-
+    // Building the session validates the geometry before touching the trace file, as
+    // the command always did.
+    let session = column_caching::Session::builder()
+        .geometry(geometry)
+        .quick(report_args.quick())
+        .build()?;
     let spec = sweep_spec(&trace_path, backends, geometry);
-    let artefact = ccache_exp::run_spec(
-        &spec,
-        &ExecOptions {
-            quick: report_args.quick(),
-        },
-    )?;
+    let artefact = session.run_spec(&spec)?;
 
     let runs: Vec<RunResult> = artefact
         .outcomes

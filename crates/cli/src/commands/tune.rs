@@ -12,7 +12,7 @@ use crate::backend::backend_from_parser;
 use crate::error::CliError;
 use crate::output::{csv_field, markdown_table, Render, ReportArgs};
 use ccache_json::{Json, ToJson};
-use ccache_opt::{tune, GeometrySearch, StrategyKind, TuneOutcome, TuneRequest};
+use ccache_opt::{GeometrySearch, StrategyKind, TuneOutcome, TuneRequest};
 use ccache_sim::backend::BackendKind;
 use ccache_sim::{CacheConfig, LatencyConfig, SystemConfig};
 use std::fmt::Write as _;
@@ -154,11 +154,8 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         forced: Vec::new(),
         baseline,
     };
-    let outcome = tune(&trace, &symbols, &request).map_err(|e| {
-        CliError::Core(ccache_core::CoreError::BadExperiment {
-            reason: e.to_string(),
-        })
-    })?;
+    let session = column_caching::Session::builder().quick(quick).build()?;
+    let outcome = session.tune(&trace, &symbols, &request)?;
 
     let report = TuneReport {
         workload: name,

@@ -46,6 +46,23 @@ impl fmt::Display for CliError {
     }
 }
 
+impl From<column_caching::SessionError> for CliError {
+    fn from(e: column_caching::SessionError) -> Self {
+        use column_caching::SessionError;
+        match e {
+            SessionError::Sim(e) => CliError::Sim(e),
+            SessionError::Core(e) => CliError::Core(e),
+            SessionError::Exp(e) => CliError::Exp(e),
+            SessionError::Opt(e) => CliError::Core(ccache_core::CoreError::BadExperiment {
+                reason: e.to_string(),
+            }),
+            SessionError::BadRequest(reason) => {
+                CliError::Core(ccache_core::CoreError::BadExperiment { reason })
+            }
+        }
+    }
+}
+
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

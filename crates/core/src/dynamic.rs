@@ -9,6 +9,7 @@
 
 use crate::engine::ReplayEngine;
 use crate::error::CoreError;
+use crate::observe::{ReplayEvent, ReplayObserver};
 use crate::placement::{page_aligned, relocate};
 use crate::runner::{CacheMapping, RunResult};
 use ccache_layout::weights::conflict_graph_from_trace;
@@ -60,6 +61,35 @@ pub fn run_dynamic(
     symbols: &SymbolTable,
     config: &PartitionConfig,
 ) -> Result<DynamicRunResult, CoreError> {
+    run_dynamic_inner(phases, symbols, config, None)
+}
+
+/// As [`run_dynamic`], with a streaming [`ReplayObserver`] receiving windowed samples
+/// every `window` references plus [`ReplayEvent::PhaseStart`], [`ReplayEvent::Remap`]
+/// and [`ReplayEvent::PhaseEnd`] markers with run-global reference offsets.
+///
+/// The returned [`DynamicRunResult`] is byte-identical to an unobserved
+/// [`run_dynamic`] of the same phases.
+///
+/// # Errors
+///
+/// As [`run_dynamic`].
+pub fn run_dynamic_observed(
+    phases: &[(String, Trace)],
+    symbols: &SymbolTable,
+    config: &PartitionConfig,
+    window: u64,
+    observer: &mut dyn ReplayObserver,
+) -> Result<DynamicRunResult, CoreError> {
+    run_dynamic_inner(phases, symbols, config, Some((window, observer)))
+}
+
+fn run_dynamic_inner(
+    phases: &[(String, Trace)],
+    symbols: &SymbolTable,
+    config: &PartitionConfig,
+    mut observe: Option<(u64, &mut dyn ReplayObserver)>,
+) -> Result<DynamicRunResult, CoreError> {
     let column_bytes = config.column_bytes();
     let plan = page_aligned(symbols, 0x10_0000, config.page_size);
     // Relocate each phase's trace with the same placement.
@@ -82,6 +112,7 @@ pub fn run_dynamic(
     let mut phase_results = Vec::with_capacity(relocated.len());
     let mut total_cycles = 0u64;
     let mut total_control = 0u64;
+    let mut replayed_refs = 0u64;
     for (name, trace, new_symbols) in &relocated {
         // Per-phase layout.
         let (graph, units) = conflict_graph_from_trace(trace, new_symbols, &weight_opts);
@@ -109,8 +140,34 @@ pub fn run_dynamic(
             CacheMapping::from_assignment(&assignment, &units, new_symbols, &exclusive_columns);
         // Re-applying a mapping on a warm system is exactly the dynamic remapping the
         // paper describes: tints are redefined and affected pages re-tinted.
+        if let Some((_, observer)) = observe.as_mut() {
+            observer.on_event(&ReplayEvent::PhaseStart {
+                name: name.clone(),
+                at_ref: replayed_refs,
+            });
+        }
         apply_remap(engine.backend_mut(), &mapping)?;
-        let result = engine.replay(name, trace);
+        if let Some((_, observer)) = observe.as_mut() {
+            observer.on_event(&ReplayEvent::Remap {
+                label: name.clone(),
+                at_ref: replayed_refs,
+                regions: mapping.regions.len(),
+            });
+        }
+        let result = match observe.as_mut() {
+            Some((window, observer)) => {
+                engine.replay_observed(name, trace, *window, &mut **observer)
+            }
+            None => engine.replay(name, trace),
+        };
+        replayed_refs += result.references;
+        if let Some((_, observer)) = observe.as_mut() {
+            observer.on_event(&ReplayEvent::PhaseEnd {
+                name: name.clone(),
+                at_ref: replayed_refs,
+                cycles: result.total_cycles(),
+            });
+        }
         total_cycles += if config.include_control {
             result.total_cycles_with_control()
         } else {

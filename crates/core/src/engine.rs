@@ -15,8 +15,10 @@
 //!   cache, the set-associative baseline or the ideal scratchpad.
 
 use crate::error::CoreError;
+use crate::observe::{ReplayObserver, WindowTracker};
 use crate::runner::{CacheMapping, RunResult};
-use ccache_sim::backend::{build_backend, BackendKind, MemoryBackend};
+use ccache_sim::backend::{BackendKind, MemoryBackend};
+use ccache_sim::registry::BackendRegistry;
 use ccache_sim::SystemConfig;
 use ccache_trace::Trace;
 
@@ -65,11 +67,29 @@ pub struct ReplayEngine {
 impl ReplayEngine {
     /// Creates an engine over a freshly built backend of the given kind.
     ///
+    /// Construction routes through the shared [`BackendRegistry`], the same factory
+    /// table every backend-name parse site resolves against.
+    ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid.
     pub fn new(kind: BackendKind, config: SystemConfig) -> Result<Self, CoreError> {
-        Ok(ReplayEngine::from_backend(build_backend(kind, config)?))
+        ReplayEngine::from_registry(BackendRegistry::global(), kind.canonical_name(), config)
+    }
+
+    /// Creates an engine over a backend resolved **by name** through a registry — the
+    /// `Session` facade path, which makes user-registered backends replayable with the
+    /// exact engine the built-ins use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown backend names or invalid configurations.
+    pub fn from_registry(
+        registry: &BackendRegistry,
+        name: &str,
+        config: SystemConfig,
+    ) -> Result<Self, CoreError> {
+        Ok(ReplayEngine::from_backend(registry.build(name, config)?))
     }
 
     /// Creates an engine over an existing backend.
@@ -220,6 +240,81 @@ impl ReplayEngine {
             }
             self.backend.run_batch(&self.buffer);
         }
+        Ok(crate::runner::collect_result(
+            name,
+            self.backend.as_ref(),
+            control_before,
+        ))
+    }
+
+    /// As [`ReplayEngine::replay`], with a streaming [`ReplayObserver`] receiving one
+    /// [`WindowSample`](crate::observe::WindowSample) every `window` references (plus a
+    /// final partial window).
+    ///
+    /// Window boundaries only shorten *batch* boundaries, and batch size never changes
+    /// statistics, so the returned [`RunResult`] is byte-identical to an unobserved
+    /// [`ReplayEngine::replay`] of the same trace (property-tested in
+    /// `tests/observer_parity.rs`). The unobserved path stays a separate function that
+    /// never consults an observer, so turning observation off costs literally nothing.
+    pub fn replay_observed(
+        &mut self,
+        name: &str,
+        trace: &Trace,
+        window: u64,
+        observer: &mut dyn ReplayObserver,
+    ) -> RunResult {
+        let control_before = self.backend.control_cycles();
+        self.backend.reset_stats();
+        let mut tracker = WindowTracker::new(window);
+        let events = trace.as_slice();
+        let mut pos = 0usize;
+        while pos < events.len() {
+            let n = (tracker.until_boundary(pos as u64) as usize)
+                .min(self.batch.max(1))
+                .min(events.len() - pos);
+            self.buffer.clear();
+            self.buffer.extend(
+                events[pos..pos + n]
+                    .iter()
+                    .map(|ev| (ev.addr, ev.is_write())),
+            );
+            self.backend.run_batch(&self.buffer);
+            pos += n;
+            tracker.observe(self.backend.as_ref(), observer, pos == events.len());
+        }
+        crate::runner::collect_result(name, self.backend.as_ref(), control_before)
+    }
+
+    /// As [`ReplayEngine::replay_reader`], with a streaming [`ReplayObserver`] — the
+    /// observed counterpart for traces replayed straight from disk. Statistics are
+    /// identical to the unobserved streaming replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors from the reader.
+    pub fn replay_reader_observed<R: std::io::BufRead>(
+        &mut self,
+        name: &str,
+        reader: &mut ccache_trace::binfmt::TraceReader<R>,
+        window: u64,
+        observer: &mut dyn ReplayObserver,
+    ) -> std::io::Result<RunResult> {
+        let control_before = self.backend.control_cycles();
+        self.backend.reset_stats();
+        let mut tracker = WindowTracker::new(window);
+        let mut replayed = 0u64;
+        loop {
+            let cap = (tracker.until_boundary(replayed) as usize).min(self.batch.max(1));
+            self.buffer.clear();
+            if reader.read_chunk(&mut self.buffer, cap.max(1))? == 0 {
+                break;
+            }
+            self.backend.run_batch(&self.buffer);
+            replayed += self.buffer.len() as u64;
+            tracker.observe(self.backend.as_ref(), observer, false);
+        }
+        // Flush the final partial window now that the stream length is known.
+        tracker.observe(self.backend.as_ref(), observer, true);
         Ok(crate::runner::collect_result(
             name,
             self.backend.as_ref(),

@@ -40,26 +40,30 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod fitness;
 pub mod multitask;
+pub mod observe;
 pub mod parallel;
 pub mod partition;
 pub mod placement;
 pub mod report;
 pub mod runner;
 
-pub use dynamic::{run_dynamic, DynamicRunResult, Figure4dResult};
+pub use dynamic::{run_dynamic, run_dynamic_observed, DynamicRunResult, Figure4dResult};
 pub use engine::ReplayEngine;
 pub use error::CoreError;
 pub use fitness::{Candidate, ReplayFitness};
 pub use multitask::{
     quantum_sweep, run_multitasking, JobMetrics, MultitaskConfig, MultitaskRun, QuantumSeries,
     SharingPolicy,
+};
+pub use observe::{
+    NoopObserver, ReplayEvent, ReplayObserver, SeriesRecorder, TimeSeries, WindowSample,
 };
 pub use partition::{
     partition_sweep, partition_sweep_serial, PartitionConfig, PartitionPoint, PartitionSweep,

@@ -177,6 +177,64 @@ impl ToJson for RunResult {
     }
 }
 
+impl ToJson for crate::observe::WindowSample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("index", self.index.to_json()),
+            ("start", self.start.to_json()),
+            ("references", self.references.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("memory_cycles", self.memory_cycles.to_json()),
+            ("miss_rate", self.miss_rate().to_json()),
+            ("cpi", self.cpi.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::observe::ReplayEvent {
+    fn to_json(&self) -> Json {
+        use crate::observe::ReplayEvent;
+        match self {
+            ReplayEvent::PhaseStart { name, at_ref } => Json::obj([
+                ("kind", "phase-start".to_json()),
+                ("label", name.to_json()),
+                ("at_ref", at_ref.to_json()),
+            ]),
+            ReplayEvent::Remap {
+                label,
+                at_ref,
+                regions,
+            } => Json::obj([
+                ("kind", "remap".to_json()),
+                ("label", label.to_json()),
+                ("at_ref", at_ref.to_json()),
+                ("regions", regions.to_json()),
+            ]),
+            ReplayEvent::PhaseEnd {
+                name,
+                at_ref,
+                cycles,
+            } => Json::obj([
+                ("kind", "phase-end".to_json()),
+                ("label", name.to_json()),
+                ("at_ref", at_ref.to_json()),
+                ("cycles", cycles.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for crate::observe::TimeSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window", self.window.to_json()),
+            ("samples", self.samples.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
 impl ToJson for PartitionConfig {
     fn to_json(&self) -> Json {
         Json::obj([

@@ -104,7 +104,7 @@ impl Artefact {
                     format!("{:.6}", point.result.miss_rate()),
                     format!("{:.6}", point.result.cpi()),
                 ],
-                JobOutcome::Dynamic { label, run } => vec![
+                JobOutcome::Dynamic { label, run, .. } => vec![
                     "dynamic".to_owned(),
                     label.clone(),
                     String::new(),
@@ -159,6 +159,7 @@ impl ToJson for JobOutcome {
                 label,
                 result,
                 layout,
+                series,
             } => {
                 let mut pairs = vec![
                     ("type".to_owned(), "replay".to_json()),
@@ -179,6 +180,11 @@ impl ToJson for JobOutcome {
                         ]),
                     },
                 ));
+                // Absent (not null) when unobserved, keeping pre-observer artefacts
+                // byte-identical.
+                if let Some(series) = series {
+                    pairs.push(("time_series".to_owned(), series.to_json()));
+                }
                 Json::Obj(pairs)
             }
             JobOutcome::Partition {
@@ -191,11 +197,17 @@ impl ToJson for JobOutcome {
                 ("workload", workload.to_json()),
                 ("point", point.to_json()),
             ]),
-            JobOutcome::Dynamic { label, run } => Json::obj([
-                ("type", "dynamic".to_json()),
-                ("label", label.to_json()),
-                ("run", run.to_json()),
-            ]),
+            JobOutcome::Dynamic { label, run, series } => {
+                let mut pairs = vec![
+                    ("type".to_owned(), "dynamic".to_json()),
+                    ("label".to_owned(), label.to_json()),
+                    ("run".to_owned(), run.to_json()),
+                ];
+                if let Some(series) = series {
+                    pairs.push(("time_series".to_owned(), series.to_json()));
+                }
+                Json::Obj(pairs)
+            }
             JobOutcome::Tuned { label, outcome } => Json::obj([
                 ("type", "tuned".to_json()),
                 ("label", label.to_json()),
@@ -277,7 +289,10 @@ mod tests {
 
     #[test]
     fn artefacts_serialize_deterministically() {
-        let opts = ExecOptions { quick: true };
+        let opts = ExecOptions {
+            quick: true,
+            observe: None,
+        };
         let a = run_spec(&tiny_spec(), &opts).unwrap();
         let b = run_spec(&tiny_spec(), &opts).unwrap();
         let ja = a.to_json().pretty();
@@ -296,7 +311,10 @@ mod tests {
 
     #[test]
     fn summary_rows_cover_every_result() {
-        let opts = ExecOptions { quick: true };
+        let opts = ExecOptions {
+            quick: true,
+            observe: None,
+        };
         let a = run_spec(&tiny_spec(), &opts).unwrap();
         let (header, rows) = a.summary_rows();
         assert_eq!(rows.len(), a.outcomes.len());

@@ -17,9 +17,10 @@ use crate::error::ExpError;
 use crate::plan::{JobUnit, MultitaskJob, Plan, ReplayJob};
 use crate::scale::Scale;
 use crate::spec::{GeometrySpec, PolicySpec, WorkloadSel};
-use ccache_core::dynamic::{run_dynamic, DynamicRunResult};
+use ccache_core::dynamic::{run_dynamic, run_dynamic_observed, DynamicRunResult};
 use ccache_core::engine::ReplayEngine;
 use ccache_core::multitask::{run_multitasking, MultitaskRun};
+use ccache_core::observe::{SeriesRecorder, TimeSeries};
 use ccache_core::partition::{run_partition_point_on, PartitionPoint};
 use ccache_core::runner::{CacheMapping, RegionMapping, RunResult};
 use ccache_layout::weights::conflict_graph_from_trace;
@@ -38,6 +39,10 @@ use std::collections::BTreeMap;
 pub struct ExecOptions {
     /// Build workloads at the reduced quick scale.
     pub quick: bool,
+    /// When set, attach a windowed series recorder to every replay and dynamic job
+    /// (`ccache run --observe window=N`). `None` runs the exact unobserved code paths,
+    /// so artefacts stay byte-identical to pre-observer output.
+    pub observe: Option<ObserveOptions>,
 }
 
 impl ExecOptions {
@@ -45,6 +50,13 @@ impl ExecOptions {
     pub fn scale(&self) -> Scale {
         Scale::from_quick(self.quick)
     }
+}
+
+/// Observation settings for an execution (see [`ExecOptions::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOptions {
+    /// Window size in references for the miss-rate/CPI time series.
+    pub window: u64,
 }
 
 /// The layout-algorithm statistics of a heuristic mapping (the paper's cost `W`).
@@ -69,6 +81,8 @@ pub enum JobOutcome {
         result: RunResult,
         /// Layout statistics, when the mapping came from the layout algorithm.
         layout: Option<LayoutInfo>,
+        /// The windowed time series, when the execution observed (`--observe`).
+        series: Option<TimeSeries>,
     },
     /// One Figure 4 partition point.
     Partition {
@@ -85,6 +99,8 @@ pub enum JobOutcome {
         label: String,
         /// The per-phase results and totals.
         run: DynamicRunResult,
+        /// The windowed time series with phase/remap events, when observing.
+        series: Option<TimeSeries>,
     },
     /// A tuning run (search over column assignments at fixed geometry).
     Tuned {
@@ -408,10 +424,28 @@ fn group_jobs(plan: &Plan) -> Result<Vec<Group>, ExpError> {
         .collect())
 }
 
+/// Replays a trace on a prepared engine, observed or not per the execution options.
+fn engine_replay(
+    engine: &mut ReplayEngine,
+    label: &str,
+    trace: &ccache_trace::Trace,
+    opts: &ExecOptions,
+) -> (RunResult, Option<TimeSeries>) {
+    match opts.observe {
+        Some(o) => {
+            let mut recorder = SeriesRecorder::new(o.window);
+            let result = engine.replay_observed(label, trace, o.window, &mut recorder);
+            (result, Some(recorder.into_series()))
+        }
+        None => (engine.replay(label, trace), None),
+    }
+}
+
 fn run_replay_group(
     indices: &[usize],
     plan: &Plan,
     ctx: &Context,
+    opts: &ExecOptions,
 ) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
     let first = match &plan.jobs[indices[0]] {
         JobUnit::Replay(job) => job,
@@ -430,13 +464,14 @@ fn run_replay_group(
         engine.reset();
         let (mapping, layout) = build_mapping(&job.policy, workload, &job.geometry)?;
         engine.apply(&mapping)?;
-        let result = engine.replay(&job.label, &workload.trace);
+        let (result, series) = engine_replay(&mut engine, &job.label, &workload.trace, opts);
         out.push((
             idx,
             JobOutcome::Replay {
                 label: job.label.clone(),
                 result,
                 layout,
+                series,
             },
         ));
     }
@@ -447,6 +482,7 @@ fn run_single(
     idx: usize,
     plan: &Plan,
     ctx: &Context,
+    opts: &ExecOptions,
 ) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
     let outcome = match &plan.jobs[idx] {
         JobUnit::Replay(job) => match &job.policy {
@@ -460,11 +496,24 @@ fn run_single(
                 };
                 let mut engine = ReplayEngine::new(job.backend, job.geometry.system_config()?)?;
                 let mut reader = ccache_trace::binfmt::TraceReader::open(path)?;
-                let result = engine.replay_reader(&job.label, &mut reader)?;
+                let (result, series) = match opts.observe {
+                    Some(o) => {
+                        let mut recorder = SeriesRecorder::new(o.window);
+                        let result = engine.replay_reader_observed(
+                            &job.label,
+                            &mut reader,
+                            o.window,
+                            &mut recorder,
+                        )?;
+                        (result, Some(recorder.into_series()))
+                    }
+                    None => (engine.replay_reader(&job.label, &mut reader)?, None),
+                };
                 JobOutcome::Replay {
                     label: job.label.clone(),
                     result,
                     layout: None,
+                    series,
                 }
             }
             PolicySpec::Partition { cache_columns } => {
@@ -483,10 +532,25 @@ fn run_single(
             }
             PolicySpec::DynamicPhases => {
                 let (phases, symbols) = ctx.phases.as_ref().expect("phases preloaded");
-                let run = run_dynamic(phases, symbols, &job.geometry.partition_config())?;
+                let config = job.geometry.partition_config();
+                let (run, series) = match opts.observe {
+                    Some(o) => {
+                        let mut recorder = SeriesRecorder::new(o.window);
+                        let run = run_dynamic_observed(
+                            phases,
+                            symbols,
+                            &config,
+                            o.window,
+                            &mut recorder,
+                        )?;
+                        (run, Some(recorder.into_series()))
+                    }
+                    None => (run_dynamic(phases, symbols, &config)?, None),
+                };
                 JobOutcome::Dynamic {
                     label: job.label.clone(),
                     run,
+                    series,
                 }
             }
             PolicySpec::Tuned {
@@ -546,9 +610,9 @@ pub fn execute(plan: &Plan, opts: &ExecOptions) -> Result<Vec<JobOutcome>, ExpEr
     let groups = group_jobs(plan)?;
     let results = ccache_core::parallel::par_map(&groups, |group| {
         if group.engine {
-            run_replay_group(&group.jobs, plan, &ctx)
+            run_replay_group(&group.jobs, plan, &ctx, opts)
         } else {
-            run_single(group.jobs[0], plan, &ctx)
+            run_single(group.jobs[0], plan, &ctx, opts)
         }
     });
     let mut indexed: Vec<(usize, JobOutcome)> = Vec::with_capacity(plan.jobs.len());
@@ -567,7 +631,10 @@ mod tests {
     use crate::spec::{ExperimentSpec, LabelScheme, ReplayGrid};
 
     fn quick() -> ExecOptions {
-        ExecOptions { quick: true }
+        ExecOptions {
+            quick: true,
+            observe: None,
+        }
     }
 
     fn fir_grid(policies: Vec<PolicySpec>) -> ExperimentSpec {

@@ -28,7 +28,7 @@
 //!     "name": "fir-policies",
 //!     "replay": [{ "workloads": ["fir"], "policies": ["shared", "heuristic"] }]
 //! }"#)?;
-//! let artefact = run_spec(&spec, &ExecOptions { quick: true })?;
+//! let artefact = run_spec(&spec, &ExecOptions { quick: true, ..ExecOptions::default() })?;
 //! assert_eq!(artefact.outcomes.len(), 2);
 //! # Ok::<(), ccache_exp::ExpError>(())
 //! ```
@@ -46,7 +46,7 @@ pub mod spec;
 
 pub use artefact::{run_spec, Artefact};
 pub use error::ExpError;
-pub use exec::{execute, ExecOptions, JobOutcome, LayoutInfo};
+pub use exec::{execute, ExecOptions, JobOutcome, LayoutInfo, ObserveOptions};
 pub use plan::{plan, JobUnit, Plan};
 pub use scale::Scale;
 pub use spec::{ExperimentSpec, GeometrySpec, PolicySpec, ReplayGrid, WorkloadSel};

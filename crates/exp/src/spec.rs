@@ -720,7 +720,15 @@ impl ReplayGrid {
                     let raw = b
                         .as_str()
                         .ok_or_else(|| bad("'backends' entries must be strings"))?;
-                    BackendKind::parse(raw).ok_or_else(|| bad(format!("unknown backend '{raw}'")))
+                    // Resolution goes through the shared registry, so spec spellings
+                    // and the derived error list cannot drift from the CLI's.
+                    let registry = ccache_sim::BackendRegistry::global();
+                    registry.kind_of(raw).ok_or_else(|| {
+                        bad(format!(
+                            "unknown backend '{raw}' (expected {})",
+                            registry.expected_single()
+                        ))
+                    })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };

@@ -143,6 +143,11 @@ impl<'a> Evaluator<'a> {
     /// Scores a non-genome reference point (e.g. the set-associative baseline) on the
     /// same trace, outside the cache and the budget.
     ///
+    /// Like every candidate replay, the backend is built through the shared
+    /// [`BackendRegistry`](ccache_sim::BackendRegistry) (via `ReplayEngine::new`), so
+    /// the optimizer cannot construct a backend the rest of the stack would not
+    /// resolve by name.
+    ///
     /// # Errors
     ///
     /// Fails if the configuration is invalid.

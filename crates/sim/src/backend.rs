@@ -439,24 +439,55 @@ impl BackendKind {
         BackendKind::IdealScratchpad,
     ];
 
-    /// Parses a backend name as used on experiment command lines.
-    pub fn parse(s: &str) -> Option<BackendKind> {
-        match s {
-            "column" | "column-cache" => Some(BackendKind::ColumnCache),
-            "set-assoc" | "setassoc" | "baseline" => Some(BackendKind::SetAssociative),
-            "ideal" | "ideal-scratchpad" => Some(BackendKind::IdealScratchpad),
-            _ => None,
+    /// The canonical name: what [`std::fmt::Display`] prints and what artefacts spell.
+    pub const fn canonical_name(self) -> &'static str {
+        match self {
+            BackendKind::ColumnCache => "column-cache",
+            BackendKind::SetAssociative => "set-assoc",
+            BackendKind::IdealScratchpad => "ideal-scratchpad",
         }
+    }
+
+    /// The short command-line name shown in `expected ...` lists.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            BackendKind::ColumnCache => "column",
+            BackendKind::SetAssociative => "set-assoc",
+            BackendKind::IdealScratchpad => "ideal",
+        }
+    }
+
+    /// Additional accepted spellings (canonical and short names excluded).
+    pub const fn alias_names(self) -> &'static [&'static str] {
+        match self {
+            BackendKind::ColumnCache => &[],
+            BackendKind::SetAssociative => &["setassoc", "baseline"],
+            BackendKind::IdealScratchpad => &[],
+        }
+    }
+
+    /// A one-line description, surfaced by the registry.
+    pub const fn summary(self) -> &'static str {
+        match self {
+            BackendKind::ColumnCache => "the software-controlled column cache",
+            BackendKind::SetAssociative => "a conventional set-associative cache",
+            BackendKind::IdealScratchpad => "every reference at scratchpad latency",
+        }
+    }
+
+    /// Parses a backend name as used on experiment command lines.
+    ///
+    /// Resolution goes through the shared [`BackendRegistry`](crate::BackendRegistry),
+    /// so the accepted spellings cannot drift from what the CLI and the experiment
+    /// specs accept.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        crate::registry::BackendRegistry::global().kind_of(s)
     }
 }
 
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            BackendKind::ColumnCache => "column-cache",
-            BackendKind::SetAssociative => "set-assoc",
-            BackendKind::IdealScratchpad => "ideal-scratchpad",
-        })
+        f.write_str(self.canonical_name())
     }
 }
 

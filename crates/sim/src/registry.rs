@@ -1,0 +1,358 @@
+//! The backend registry: one name→factory table behind every backend-name decision.
+//!
+//! Before this module existed, the accepted backend names lived in three places — the
+//! CLI's `expected ...` error strings, the experiment-spec JSON grammar and
+//! [`BackendKind::parse`] — and could drift apart silently. [`BackendRegistry`] is the
+//! single source of truth: the built-in backends (column cache, set-associative
+//! baseline, ideal scratchpad) are registered by default with their canonical names,
+//! CLI short names and historical aliases, and every parse site resolves through it.
+//! The `expected ...` lists shown in usage errors are **derived** from the registry
+//! ([`BackendRegistry::expected_single`] / [`BackendRegistry::expected_list`]), so a
+//! newly registered backend shows up in the error messages without any string edits.
+//!
+//! User code can register additional backends (a victim cache, a trace-driven DRAM
+//! model, ...) on its own registry instance and build them by name:
+//!
+//! ```
+//! use ccache_sim::backend::{IdealScratchpad, MemoryBackend};
+//! use ccache_sim::registry::BackendRegistry;
+//! use ccache_sim::SystemConfig;
+//!
+//! let mut registry = BackendRegistry::builtin();
+//! registry.register("twice-ideal", &["2x"], "an ideal scratchpad, registered twice", |cfg| {
+//!     Ok(Box::new(IdealScratchpad::new(cfg)?))
+//! })?;
+//! let mut backend = registry.build("2x", SystemConfig::default())?;
+//! assert_eq!(backend.name(), "ideal-scratchpad");
+//! assert!(registry.expected_single().contains("twice-ideal"));
+//! # Ok::<(), ccache_sim::SimError>(())
+//! ```
+
+use crate::backend::{build_backend, BackendKind, MemoryBackend};
+use crate::error::SimError;
+use crate::system::SystemConfig;
+use std::sync::{Arc, OnceLock};
+
+/// A factory producing a fresh, boxed backend from a system configuration.
+pub type BackendFactory =
+    Arc<dyn Fn(SystemConfig) -> Result<Box<dyn MemoryBackend>, SimError> + Send + Sync>;
+
+/// One registered backend: its names and its factory.
+#[derive(Clone)]
+pub struct BackendEntry {
+    /// The canonical name (what [`std::fmt::Display`] on [`BackendKind`] prints and
+    /// what job descriptors/artefacts spell), e.g. `"column-cache"`.
+    name: String,
+    /// The short command-line name shown in `expected ...` lists, e.g. `"column"`.
+    short: String,
+    /// Additional accepted spellings, e.g. `"setassoc"`.
+    aliases: Vec<String>,
+    /// A one-line human description.
+    summary: String,
+    /// The closed-enum kind, for the built-in backends only.
+    kind: Option<BackendKind>,
+    /// The constructor.
+    factory: BackendFactory,
+}
+
+impl BackendEntry {
+    /// The canonical name of the backend.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The short command-line name (shown in `expected ...` lists).
+    pub fn short(&self) -> &str {
+        &self.short
+    }
+
+    /// The accepted alias spellings (canonical and short names excluded).
+    pub fn aliases(&self) -> &[String] {
+        &self.aliases
+    }
+
+    /// The one-line description.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// The [`BackendKind`] of a built-in backend; `None` for user-registered ones.
+    pub fn kind(&self) -> Option<BackendKind> {
+        self.kind
+    }
+
+    /// Builds a fresh backend from this entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the factory.
+    pub fn build(&self, config: SystemConfig) -> Result<Box<dyn MemoryBackend>, SimError> {
+        (self.factory)(config)
+    }
+
+    /// Whether `name` spells this entry (canonical, short or alias).
+    fn matches(&self, name: &str) -> bool {
+        self.name == name || self.short == name || self.aliases.iter().any(|a| a == name)
+    }
+}
+
+impl std::fmt::Debug for BackendEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendEntry")
+            .field("name", &self.name)
+            .field("short", &self.short)
+            .field("aliases", &self.aliases)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// A name→factory registry of memory backends, in registration order.
+///
+/// Cloning a registry is cheap (factories are shared behind [`Arc`]); the
+/// [`Session`](https://docs.rs/column-caching) facade clones the built-in registry and
+/// lets callers register their own backends without affecting other sessions.
+#[derive(Clone, Debug, Default)]
+pub struct BackendRegistry {
+    entries: Vec<BackendEntry>,
+}
+
+impl BackendRegistry {
+    /// An empty registry (no backends registered).
+    pub fn empty() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// A registry holding the built-in backends, in [`BackendKind::ALL`] order.
+    pub fn builtin() -> Self {
+        let mut registry = BackendRegistry::empty();
+        for kind in BackendKind::ALL {
+            registry
+                .register_entry(BackendEntry {
+                    name: kind.canonical_name().to_owned(),
+                    short: kind.short_name().to_owned(),
+                    aliases: kind.alias_names().iter().map(|&a| a.to_owned()).collect(),
+                    summary: kind.summary().to_owned(),
+                    kind: Some(kind),
+                    factory: Arc::new(move |config| build_backend(kind, config)),
+                })
+                .expect("built-in backend names are distinct");
+        }
+        registry
+    }
+
+    /// The process-wide shared built-in registry — the table [`BackendKind::parse`] and
+    /// every built-in parse site (CLI flags, experiment specs) resolve through.
+    pub fn global() -> &'static BackendRegistry {
+        static GLOBAL: OnceLock<BackendRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(BackendRegistry::builtin)
+    }
+
+    /// Registers a user backend under `name` (plus `aliases`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::DuplicateBackend`] if any of the names is already taken.
+    pub fn register<F>(
+        &mut self,
+        name: &str,
+        aliases: &[&str],
+        summary: &str,
+        factory: F,
+    ) -> Result<(), SimError>
+    where
+        F: Fn(SystemConfig) -> Result<Box<dyn MemoryBackend>, SimError> + Send + Sync + 'static,
+    {
+        self.register_entry(BackendEntry {
+            name: name.to_owned(),
+            short: name.to_owned(),
+            aliases: aliases.iter().map(|&a| a.to_owned()).collect(),
+            summary: summary.to_owned(),
+            kind: None,
+            factory: Arc::new(factory),
+        })
+    }
+
+    fn register_entry(&mut self, entry: BackendEntry) -> Result<(), SimError> {
+        for name in std::iter::once(entry.name.as_str())
+            .chain(std::iter::once(entry.short.as_str()))
+            .chain(entry.aliases.iter().map(String::as_str))
+        {
+            if self.resolve(name).is_some() {
+                return Err(SimError::DuplicateBackend {
+                    name: name.to_owned(),
+                });
+            }
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[BackendEntry] {
+        &self.entries
+    }
+
+    /// The canonical names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Resolves any accepted spelling (canonical, short or alias) to its entry.
+    pub fn resolve(&self, name: &str) -> Option<&BackendEntry> {
+        self.entries.iter().find(|e| e.matches(name))
+    }
+
+    /// Resolves a name to its built-in [`BackendKind`], when it names a built-in.
+    pub fn kind_of(&self, name: &str) -> Option<BackendKind> {
+        self.resolve(name).and_then(BackendEntry::kind)
+    }
+
+    /// Builds a fresh backend by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SimError::UnknownBackend`] for unknown names and propagates
+    /// configuration errors from the factory.
+    pub fn build(
+        &self,
+        name: &str,
+        config: SystemConfig,
+    ) -> Result<Box<dyn MemoryBackend>, SimError> {
+        match self.resolve(name) {
+            Some(entry) => entry.build(config),
+            None => Err(SimError::UnknownBackend {
+                name: name.to_owned(),
+                expected: self.expected_single(),
+            }),
+        }
+    }
+
+    /// The `expected ...` list of short names for single-backend flags, e.g.
+    /// `"column, set-assoc or ideal"`. Derived, never hand-maintained.
+    pub fn expected_single(&self) -> String {
+        join_expected(self.entries.iter().map(|e| e.short.as_str()))
+    }
+
+    /// As [`BackendRegistry::expected_single`], for flags that also accept `all`, e.g.
+    /// `"column, set-assoc, ideal or all"`.
+    pub fn expected_list(&self) -> String {
+        join_expected(self.entries.iter().map(|e| e.short.as_str()).chain(["all"]))
+    }
+}
+
+/// Joins names as English usage text: `"a, b or c"`.
+fn join_expected<'a>(names: impl Iterator<Item = &'a str>) -> String {
+    let names: Vec<&str> = names.collect();
+    match names.as_slice() {
+        [] => String::new(),
+        [only] => (*only).to_owned(),
+        [init @ .., last] => format!("{} or {last}", init.join(", ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::IdealScratchpad;
+
+    #[test]
+    fn builtin_registry_mirrors_backend_kind() {
+        let registry = BackendRegistry::builtin();
+        assert_eq!(registry.entries().len(), BackendKind::ALL.len());
+        for kind in BackendKind::ALL {
+            let entry = registry.resolve(kind.canonical_name()).unwrap();
+            assert_eq!(entry.kind(), Some(kind));
+            assert_eq!(entry.name(), kind.to_string());
+            // every accepted spelling resolves to the same entry
+            assert_eq!(registry.kind_of(entry.short()), Some(kind));
+            for alias in entry.aliases() {
+                assert_eq!(registry.kind_of(alias), Some(kind));
+            }
+        }
+        assert!(registry.resolve("victim-cache").is_none());
+    }
+
+    #[test]
+    fn expected_strings_are_derived_from_registration_order() {
+        let registry = BackendRegistry::builtin();
+        assert_eq!(registry.expected_single(), "column, set-assoc or ideal");
+        assert_eq!(registry.expected_list(), "column, set-assoc, ideal or all");
+        assert_eq!(
+            registry.names(),
+            vec!["column-cache", "set-assoc", "ideal-scratchpad"]
+        );
+    }
+
+    #[test]
+    fn built_backends_match_direct_construction() {
+        let registry = BackendRegistry::builtin();
+        let cfg = SystemConfig::default();
+        for kind in BackendKind::ALL {
+            let from_registry = registry.build(kind.canonical_name(), cfg).unwrap();
+            let direct = build_backend(kind, cfg).unwrap();
+            assert_eq!(from_registry.name(), direct.name());
+        }
+        let err = registry.build("victim-cache", cfg).err().unwrap();
+        assert_eq!(
+            err.to_string(),
+            "unknown backend 'victim-cache' (expected column, set-assoc or ideal)"
+        );
+    }
+
+    #[test]
+    fn user_backends_register_resolve_and_extend_expected_lists() {
+        let mut registry = BackendRegistry::builtin();
+        registry
+            .register("victim", &["vc"], "a pretend victim cache", |cfg| {
+                Ok(Box::new(IdealScratchpad::new(cfg)?))
+            })
+            .unwrap();
+        assert!(registry.resolve("victim").is_some());
+        assert!(registry.resolve("vc").is_some());
+        assert_eq!(registry.kind_of("victim"), None);
+        assert_eq!(
+            registry.expected_single(),
+            "column, set-assoc, ideal or victim"
+        );
+        assert_eq!(
+            registry.expected_list(),
+            "column, set-assoc, ideal, victim or all"
+        );
+        let backend = registry.build("vc", SystemConfig::default()).unwrap();
+        assert_eq!(backend.name(), "ideal-scratchpad");
+    }
+
+    #[test]
+    fn duplicate_registrations_are_rejected() {
+        let mut registry = BackendRegistry::builtin();
+        for taken in ["column", "column-cache", "baseline"] {
+            let err = registry
+                .register(taken, &[], "collides", |cfg| {
+                    Ok(Box::new(IdealScratchpad::new(cfg)?))
+                })
+                .unwrap_err();
+            assert_eq!(err, SimError::DuplicateBackend { name: taken.into() });
+        }
+        // a fresh name with a colliding alias is rejected too
+        let err = registry
+            .register("fresh", &["ideal"], "alias collides", |cfg| {
+                Ok(Box::new(IdealScratchpad::new(cfg)?))
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DuplicateBackend {
+                name: "ideal".into()
+            }
+        );
+    }
+
+    #[test]
+    fn global_registry_is_shared_and_builtin() {
+        let a = BackendRegistry::global();
+        let b = BackendRegistry::global();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.entries().len(), BackendKind::ALL.len());
+    }
+}

@@ -24,7 +24,28 @@
 //! | [`opt`] (`ccache-opt`) | autotuning: joint search over cache geometries and column assignments with replay-driven fitness |
 //! | [`exp`] (`ccache-exp`) | declarative experiment layer: JSON specs, deduplicating planner, parallel executor, unified artefacts |
 //!
-//! # Quick start
+//! # Quick start: the `Session` facade
+//!
+//! [`Session`] is the library's front door: a builder configures geometry, backend
+//! (through the [`BackendRegistry`](sim::BackendRegistry)), scale and observation once,
+//! and the session then drives replays, experiment specs and tuning runs.
+//!
+//! ```
+//! use column_caching::Session;
+//!
+//! let session = Session::builder().quick(true).observe(512).build()?;
+//! // Replay a built-in workload; the observer yields a windowed time series.
+//! let replayed = session.replay_corpus("mpeg-dequant")?;
+//! assert!(replayed.result.references > 0);
+//! assert_eq!(
+//!     replayed.series.unwrap().total_misses(),
+//!     replayed.result.misses,
+//! );
+//! # Ok::<(), column_caching::SessionError>(())
+//! ```
+//!
+//! The per-crate APIs remain available underneath for anything the facade does not
+//! cover:
 //!
 //! ```
 //! use column_caching::prelude::*;
@@ -38,7 +59,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+pub mod session;
 
 pub use ccache_core as core;
 pub use ccache_exp as exp;
@@ -48,8 +71,11 @@ pub use ccache_sim as sim;
 pub use ccache_trace as trace;
 pub use ccache_workloads as workloads;
 
+pub use session::{Replayed, Session, SessionBuilder, SessionError};
+
 /// The most commonly used items from every crate in the workspace.
 pub mod prelude {
+    pub use crate::session::{Replayed, Session, SessionBuilder, SessionError};
     pub use ccache_core::prelude::*;
     pub use ccache_layout::prelude::*;
     pub use ccache_opt::prelude::*;

@@ -1,0 +1,550 @@
+//! The `Session` facade: one typed front door to the whole stack.
+//!
+//! Before this module, driving the workspace as a library meant reaching into five
+//! crates: build a `SystemConfig` from `ccache-sim`, a `ReplayEngine` from
+//! `ccache-core`, look workloads up in `ccache-workloads`, compile specs with
+//! `ccache-exp` and tune with `ccache-opt`. A [`Session`] packages that wiring behind a
+//! builder:
+//!
+//! ```
+//! use column_caching::Session;
+//!
+//! let session = Session::builder().quick(true).observe(512).build()?;
+//! let replayed = session.replay_corpus("fir")?;
+//! let series = replayed.series.expect("observation was requested");
+//! assert_eq!(series.total_references(), replayed.result.references);
+//! # Ok::<(), column_caching::SessionError>(())
+//! ```
+//!
+//! The session owns a [`BackendRegistry`] clone, so user backends registered on the
+//! builder are replayable by name with the exact engine the built-ins use, and the
+//! configured observation window is honoured by every replay the session runs —
+//! including full experiment specs ([`Session::run_spec`]), where it surfaces as the
+//! artefact's `time_series` blocks. The `ccache` CLI commands are thin clients of this
+//! type.
+
+use ccache_core::observe::{ReplayObserver, SeriesRecorder, TimeSeries};
+use ccache_core::runner::CacheMapping;
+use ccache_core::{CoreError, ReplayEngine, RunResult};
+use ccache_exp::exec::{ExecOptions, ObserveOptions};
+use ccache_exp::{Artefact, ExpError, ExperimentSpec, GeometrySpec, Plan};
+use ccache_opt::{OptError, TuneOutcome, TuneRequest};
+use ccache_sim::backend::MemoryBackend;
+use ccache_sim::{BackendRegistry, SimError, SystemConfig};
+use ccache_trace::{SymbolTable, Trace};
+
+/// Errors surfaced by the [`Session`] facade: either a bad request (unknown backend or
+/// workload name) or a wrapped error from one of the underlying crates.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A name failed to resolve or a request was malformed.
+    BadRequest(String),
+    /// A simulator configuration or registry operation failed.
+    Sim(SimError),
+    /// A replay or experiment failed in the core layer.
+    Core(CoreError),
+    /// The experiment layer rejected a spec or failed a job.
+    Exp(ExpError),
+    /// The autotuner failed.
+    Opt(OptError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::BadRequest(msg) => write!(f, "{msg}"),
+            SessionError::Sim(e) => write!(f, "{e}"),
+            SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Exp(e) => write!(f, "{e}"),
+            SessionError::Opt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::BadRequest(_) => None,
+            SessionError::Sim(e) => Some(e),
+            SessionError::Core(e) => Some(e),
+            SessionError::Exp(e) => Some(e),
+            SessionError::Opt(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Sim(e)
+    }
+}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+
+impl From<ExpError> for SessionError {
+    fn from(e: ExpError) -> Self {
+        SessionError::Exp(e)
+    }
+}
+
+impl From<OptError> for SessionError {
+    fn from(e: OptError) -> Self {
+        SessionError::Opt(e)
+    }
+}
+
+/// A replay's outcome through a session: the statistics plus — when the session
+/// observes — the windowed time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replayed {
+    /// The replay statistics (identical with observation on or off).
+    pub result: RunResult,
+    /// The windowed series, when the session was built with [`SessionBuilder::observe`].
+    pub series: Option<TimeSeries>,
+}
+
+/// Configures and validates a [`Session`].
+///
+/// Defaults: the paper's Figure 4 geometry ([`GeometrySpec::default`]), the
+/// column-cache backend, full-scale workloads, no observation, the built-in backend
+/// registry.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    geometry: GeometrySpec,
+    backend: String,
+    quick: bool,
+    observe: Option<u64>,
+    registry: BackendRegistry,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            geometry: GeometrySpec::default(),
+            backend: "column-cache".to_owned(),
+            quick: false,
+            observe: None,
+            registry: BackendRegistry::builtin(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Starts a builder with the defaults above.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Sets the cache geometry (capacity, columns, line, page, TLB, replacement,
+    /// latency preset).
+    pub fn geometry(mut self, geometry: GeometrySpec) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Selects the backend the session replays on, by any registered spelling
+    /// (built-in or user-registered). Validated at [`SessionBuilder::build`].
+    pub fn backend(mut self, name: impl Into<String>) -> Self {
+        self.backend = name.into();
+        self
+    }
+
+    /// Builds workloads at the reduced quick scale (smoke tests).
+    pub fn quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Attaches a windowed observer to every replay the session runs: one
+    /// [`WindowSample`](ccache_core::observe::WindowSample) per `window` references.
+    pub fn observe(mut self, window: u64) -> Self {
+        self.observe = Some(window.max(1));
+        self
+    }
+
+    /// Registers a user backend on the session's registry under `name` plus `aliases`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a name collides with an already registered backend.
+    pub fn register_backend<F>(
+        mut self,
+        name: &str,
+        aliases: &[&str],
+        summary: &str,
+        factory: F,
+    ) -> Result<Self, SessionError>
+    where
+        F: Fn(SystemConfig) -> Result<Box<dyn MemoryBackend>, SimError> + Send + Sync + 'static,
+    {
+        self.registry.register(name, aliases, summary, factory)?;
+        Ok(self)
+    }
+
+    /// Validates the configuration and produces the session.
+    ///
+    /// # Errors
+    ///
+    /// Fails for invalid geometries and for backend names the registry cannot resolve
+    /// (the message lists the accepted names, derived from the registry).
+    pub fn build(self) -> Result<Session, SessionError> {
+        let config = self.geometry.system_config()?;
+        let backend = match self.registry.resolve(&self.backend) {
+            Some(entry) => entry.name().to_owned(),
+            None => {
+                return Err(SessionError::BadRequest(format!(
+                    "unknown backend '{}' (expected {})",
+                    self.backend,
+                    self.registry.expected_single()
+                )))
+            }
+        };
+        Ok(Session {
+            geometry: self.geometry,
+            config,
+            backend,
+            quick: self.quick,
+            observe: self.observe,
+            registry: self.registry,
+        })
+    }
+}
+
+/// A configured driving session: the library's single entry point for replays,
+/// experiment specs and tuning runs. Build one with [`Session::builder`].
+#[derive(Debug, Clone)]
+pub struct Session {
+    geometry: GeometrySpec,
+    config: SystemConfig,
+    backend: String,
+    quick: bool,
+    observe: Option<u64>,
+    registry: BackendRegistry,
+}
+
+impl Session {
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The session's backend registry (built-ins plus any user registrations).
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
+    /// The cache geometry the session replays under.
+    pub fn geometry(&self) -> &GeometrySpec {
+        &self.geometry
+    }
+
+    /// The validated simulator configuration derived from the geometry.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The canonical name of the session's backend.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Whether workloads are built at the reduced quick scale.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The observation window, when the session observes.
+    pub fn observe_window(&self) -> Option<u64> {
+        self.observe
+    }
+
+    /// A fresh [`ReplayEngine`] over the session's backend and geometry — the escape
+    /// hatch for snapshot/reset-style driving beyond what the facade offers.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend factory rejects the configuration.
+    pub fn engine(&self) -> Result<ReplayEngine, SessionError> {
+        Ok(ReplayEngine::from_registry(
+            &self.registry,
+            &self.backend,
+            self.config,
+        )?)
+    }
+
+    /// Replays a trace on a freshly built backend with no mapping programmed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend cannot be built.
+    pub fn replay(&self, name: &str, trace: &Trace) -> Result<Replayed, SessionError> {
+        self.replay_mapped(name, trace, &CacheMapping::new())
+    }
+
+    /// Replays a trace with a cache mapping programmed first — the paper's programming
+    /// model in one call: partition, replay, read statistics (and, when observing, the
+    /// windowed series).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend cannot be built or the mapping is invalid for it.
+    pub fn replay_mapped(
+        &self,
+        name: &str,
+        trace: &Trace,
+        mapping: &CacheMapping,
+    ) -> Result<Replayed, SessionError> {
+        let mut engine = self.engine()?;
+        engine.apply(mapping)?;
+        Ok(match self.observe {
+            Some(window) => {
+                let mut recorder = SeriesRecorder::new(window);
+                let result = engine.replay_observed(name, trace, window, &mut recorder);
+                Replayed {
+                    result,
+                    series: Some(recorder.into_series()),
+                }
+            }
+            None => Replayed {
+                result: engine.replay(name, trace),
+                series: None,
+            },
+        })
+    }
+
+    /// Replays a trace with a caller-provided streaming observer (the session's own
+    /// observation setting is ignored for this call).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the backend cannot be built.
+    pub fn replay_with(
+        &self,
+        name: &str,
+        trace: &Trace,
+        window: u64,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<RunResult, SessionError> {
+        let mut engine = self.engine()?;
+        Ok(engine.replay_observed(name, trace, window, observer))
+    }
+
+    /// Runs a named corpus workload (at the session's scale) and replays its trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown corpus names; the message lists the accepted ones.
+    pub fn replay_corpus(&self, name: &str) -> Result<Replayed, SessionError> {
+        let run = ccache_workloads::corpus(name, self.quick).ok_or_else(|| {
+            SessionError::BadRequest(format!(
+                "unknown workload '{name}' (expected one of: {})",
+                ccache_workloads::CORPUS_NAMES.join(", ")
+            ))
+        })?;
+        self.replay(&run.name, &run.trace)
+    }
+
+    /// Runs a full experiment spec through the plan → execute → package pipeline,
+    /// honouring the session's scale and observation settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and execution failures.
+    pub fn run_spec(&self, spec: &ExperimentSpec) -> Result<Artefact, SessionError> {
+        self.run_plan(spec, ccache_exp::plan(spec))
+    }
+
+    /// As [`Session::run_spec`], executing an already-computed plan of `spec` — for
+    /// callers that inspect or report plan statistics first (e.g. `ccache run`'s
+    /// stderr narration) without paying for a second grid expansion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution failures.
+    pub fn run_plan(&self, spec: &ExperimentSpec, plan: Plan) -> Result<Artefact, SessionError> {
+        let outcomes = ccache_exp::execute(&plan, &self.exec_options())?;
+        Ok(Artefact::new(spec.clone(), self.quick, plan, outcomes))
+    }
+
+    /// As [`Session::run_spec`], parsing the spec from JSON text first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on JSON syntax errors, structural spec problems and execution failures.
+    pub fn run_spec_str(&self, text: &str) -> Result<Artefact, SessionError> {
+        self.run_spec(&ExperimentSpec::parse_str(text)?)
+    }
+
+    /// The execution options the session's settings compile to.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            quick: self.quick,
+            observe: self.observe.map(|window| ObserveOptions { window }),
+        }
+    }
+
+    /// Tunes cache geometry and column assignments for a workload trace
+    /// (see [`ccache_opt::tune`]). The request is taken as-is — its own `template`
+    /// geometry drives the search; use [`Session::tune_corpus`] to tune under the
+    /// session's configured geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search failures.
+    pub fn tune(
+        &self,
+        trace: &Trace,
+        symbols: &SymbolTable,
+        request: &TuneRequest,
+    ) -> Result<TuneOutcome, SessionError> {
+        Ok(ccache_opt::tune(trace, symbols, request)?)
+    }
+
+    /// Tunes a named corpus workload (at the session's scale) with the **session's
+    /// geometry** as the search template — the request's `template` field is replaced
+    /// by the session's validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown corpus names and propagates search failures.
+    pub fn tune_corpus(
+        &self,
+        name: &str,
+        request: &TuneRequest,
+    ) -> Result<TuneOutcome, SessionError> {
+        let run = ccache_workloads::corpus(name, self.quick).ok_or_else(|| {
+            SessionError::BadRequest(format!(
+                "unknown workload '{name}' (expected one of: {})",
+                ccache_workloads::CORPUS_NAMES.join(", ")
+            ))
+        })?;
+        let request = TuneRequest {
+            template: self.config,
+            ..request.clone()
+        };
+        self.tune(&run.trace, &run.symbols, &request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccache_sim::backend::IdealScratchpad;
+
+    #[test]
+    fn default_session_replays_a_corpus_workload() {
+        let session = Session::builder().quick(true).build().unwrap();
+        assert_eq!(session.backend(), "column-cache");
+        assert!(!session.registry().names().is_empty());
+        let replayed = session.replay_corpus("fir").unwrap();
+        assert!(replayed.result.references > 0);
+        assert!(replayed.series.is_none());
+    }
+
+    #[test]
+    fn observed_sessions_attach_series_everywhere() {
+        let plain = Session::builder().quick(true).build().unwrap();
+        let observing = Session::builder().quick(true).observe(256).build().unwrap();
+        let a = plain.replay_corpus("fir").unwrap();
+        let b = observing.replay_corpus("fir").unwrap();
+        assert_eq!(a.result, b.result, "observation must not change statistics");
+        let series = b.series.unwrap();
+        assert_eq!(series.window, 256);
+        assert_eq!(series.total_references(), a.result.references);
+    }
+
+    #[test]
+    fn unknown_names_fail_with_derived_expected_lists() {
+        let err = Session::builder()
+            .backend("victim-cache")
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(
+            err.to_string(),
+            "unknown backend 'victim-cache' (expected column, set-assoc or ideal)"
+        );
+        let session = Session::builder().quick(true).build().unwrap();
+        let err = session.replay_corpus("nope").err().unwrap();
+        assert!(err.to_string().contains("unknown workload 'nope'"));
+    }
+
+    #[test]
+    fn user_backends_are_replayable_by_name() {
+        let session = Session::builder()
+            .quick(true)
+            .register_backend("my-ideal", &[], "user-registered ideal", |cfg| {
+                Ok(Box::new(IdealScratchpad::new(cfg)?))
+            })
+            .unwrap()
+            .backend("my-ideal")
+            .build()
+            .unwrap();
+        assert_eq!(session.backend(), "my-ideal");
+        let replayed = session.replay_corpus("fir").unwrap();
+        // the ideal scratchpad never misses
+        assert_eq!(replayed.result.misses, 0);
+        assert!(session.registry().expected_single().contains("my-ideal"));
+    }
+
+    #[test]
+    fn tune_corpus_searches_under_the_session_geometry() {
+        use ccache_opt::{GeometrySearch, StrategyKind};
+        let geometry = ccache_exp::GeometrySpec {
+            capacity: 4096,
+            columns: 8,
+            ..ccache_exp::GeometrySpec::default()
+        };
+        let session = Session::builder()
+            .quick(true)
+            .geometry(geometry)
+            .build()
+            .unwrap();
+        let request = ccache_opt::TuneRequest {
+            geometry: GeometrySearch::fixed(),
+            strategy: StrategyKind::HillClimb,
+            budget: 4,
+            ..ccache_opt::TuneRequest::default()
+        };
+        let outcome = session.tune_corpus("fir", &request).unwrap();
+        // the session's geometry, not the request's default template, drove the search
+        assert_eq!(outcome.best_config.capacity_bytes, 4096);
+        assert_eq!(outcome.best_config.columns, 8);
+    }
+
+    #[test]
+    fn sessions_run_experiment_specs_with_observation() {
+        let spec = r#"{"name": "t", "replay": [{"workloads": ["fir"],
+                       "policies": ["shared", "heuristic"], "label": "policy"}]}"#;
+        let plain = Session::builder().quick(true).build().unwrap();
+        let observing = Session::builder().quick(true).observe(512).build().unwrap();
+        let a = plain.run_spec_str(spec).unwrap();
+        let b = observing.run_spec_str(spec).unwrap();
+        assert_eq!(a.outcomes.len(), 2);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            let (
+                ccache_exp::JobOutcome::Replay {
+                    result: rx,
+                    series: sx,
+                    ..
+                },
+                ccache_exp::JobOutcome::Replay {
+                    result: ry,
+                    series: sy,
+                    ..
+                },
+            ) = (x, y)
+            else {
+                panic!("expected replay outcomes");
+            };
+            assert_eq!(rx, ry);
+            assert!(sx.is_none());
+            let series = sy.as_ref().unwrap();
+            assert_eq!(series.total_references(), ry.references);
+        }
+    }
+}

@@ -53,6 +53,7 @@ commands:
   run       execute a declarative experiment spec (examples/specs/*.json)
   trace     record, inspect and convert trace files
   tune      autotune cache geometry and column assignments for a workload
+  bench     measure replay throughput; gate against a committed baseline
   help      show this help
 
 Run 'ccache <command> --help' for command-specific options.
@@ -79,6 +80,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         "run" => commands::run::run(args),
         "trace" => commands::trace::run(args),
         "tune" => commands::tune::run(args),
+        "bench" => commands::bench::run(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

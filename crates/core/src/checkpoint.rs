@@ -1,0 +1,188 @@
+//! Checkpoint-parallel replay of a single trace.
+//!
+//! Sweeps parallelise trivially — every point owns its system — but one long trace on
+//! one configuration is inherently sequential: each reference sees the cache state left
+//! by every reference before it. This module breaks that chain with the engine's own
+//! snapshot machinery. A **sequential warm-up pass** replays the trace once, cloning the
+//! backend at each segment boundary ([`ReplayEngine::checkpoint`](crate::engine::ReplayEngine::checkpoint)); each clone *is* the
+//! exact state the corresponding segment starts from. The segments can then replay
+//! concurrently from their checkpoints ([`ReplayCheckpoints::replay`]), and because
+//! every statistic the simulator keeps is additive, summing the per-segment counters
+//! reproduces the sequential [`RunResult`] byte for byte (property-tested in
+//! `tests/checkpoint_parity.rs`).
+//!
+//! The warm-up pass costs one sequential replay, so this pays off when the *same* trace
+//! is replayed repeatedly from the same programmed state — the optimizer's fitness
+//! loop, A/B latency studies, and the `ccache bench` harness — or when checkpoints are
+//! retained and only a suffix of the trace is re-examined.
+//!
+//! Worker fan-out uses the same [`par_map`] primitive as the
+//! sweep executor, so the `parallel` feature gates threading here too; with the feature
+//! off the segments replay serially with identical results.
+
+use crate::parallel::par_map;
+use crate::runner::RunResult;
+use ccache_sim::backend::MemoryBackend;
+use ccache_sim::{CacheStats, CycleReport, MemoryStats};
+use ccache_trace::Trace;
+
+/// Per-segment checkpoints of a backend, recorded by [`ReplayEngine::checkpoint`](crate::engine::ReplayEngine::checkpoint)
+/// during one sequential warm-up replay.
+///
+/// [`ReplayEngine::checkpoint`](crate::engine::ReplayEngine::checkpoint): crate::engine::ReplayEngine::checkpoint
+pub struct ReplayCheckpoints {
+    /// `checkpoints[s]` is the backend state immediately before segment `s` replays.
+    checkpoints: Vec<Box<dyn MemoryBackend>>,
+    /// Segment boundaries into the trace: segment `s` covers `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+    /// Length of the trace the checkpoints were recorded against.
+    trace_len: usize,
+    /// Control cycles accumulated before the warm-up replay began (programming the
+    /// backend), carried into every merged result exactly like sequential replay.
+    control_before: u64,
+    /// Batch size the owning engine used; workers stage references the same way.
+    batch: usize,
+}
+
+/// Additive statistics one worker brings back from its segment.
+struct SegmentStats {
+    mem: MemoryStats,
+    cache: CacheStats,
+    control: u64,
+}
+
+impl ReplayCheckpoints {
+    pub(crate) fn new(
+        checkpoints: Vec<Box<dyn MemoryBackend>>,
+        bounds: Vec<usize>,
+        trace_len: usize,
+        control_before: u64,
+        batch: usize,
+    ) -> Self {
+        debug_assert_eq!(bounds.len(), checkpoints.len() + 1);
+        ReplayCheckpoints {
+            checkpoints,
+            bounds,
+            trace_len,
+            control_before,
+            batch,
+        }
+    }
+
+    /// Number of segments the trace was split into (always at least 1).
+    pub fn segments(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Length of the trace these checkpoints were recorded against; only that exact
+    /// trace can be replayed through them.
+    pub fn trace_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Replays `trace` across all segments — in parallel with the `parallel` feature
+    /// enabled — and merges the per-segment statistics into one [`RunResult`] that is
+    /// byte-identical to a sequential [`replay`](crate::engine::ReplayEngine::replay)
+    /// of the same trace from the same starting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` does not have the length the checkpoints were recorded
+    /// against: checkpoints encode mid-trace cache state, so replaying a different
+    /// trace through them would silently produce garbage.
+    pub fn replay(&self, name: &str, trace: &Trace) -> RunResult {
+        assert_eq!(
+            trace.len(),
+            self.trace_len,
+            "checkpoints were recorded against a trace of {} events, got {}",
+            self.trace_len,
+            trace.len()
+        );
+        let events = trace.as_slice();
+        let segments: Vec<usize> = (0..self.segments()).collect();
+        let parts = par_map(&segments, |&s| {
+            let mut backend = self.checkpoints[s].boxed_clone();
+            backend.reset_stats();
+            let mut buffer: Vec<(u64, bool)> = Vec::with_capacity(self.batch);
+            for chunk in events[self.bounds[s]..self.bounds[s + 1]].chunks(self.batch) {
+                buffer.clear();
+                buffer.extend(chunk.iter().map(|ev| (ev.addr, ev.is_write())));
+                backend.run_batch(&buffer);
+            }
+            SegmentStats {
+                mem: *backend.stats(),
+                cache: backend.cache_stats().clone(),
+                control: backend.control_cycles(),
+            }
+        });
+
+        // Every counter is additive across segments, so the merge is a plain sum; the
+        // CPI report is then derived through the same single function every backend
+        // uses, from the summed counters.
+        let mut mem = MemoryStats::default();
+        let mut cache = CacheStats::default();
+        let mut control_during = 0u64;
+        for part in &parts {
+            mem += &part.mem;
+            cache += &part.cache;
+            control_during += part.control;
+        }
+        let latency = self.checkpoints[0].config().latency;
+        RunResult {
+            name: name.to_owned(),
+            memory_cycles: mem.memory_cycles,
+            control_cycles: self.control_before + control_during,
+            report: CycleReport::from_stats(&mem, &latency, control_during, false),
+            references: mem.references,
+            hits: cache.hits,
+            misses: cache.misses + cache.bypasses,
+            writebacks: cache.writebacks,
+            uncached: mem.uncached_accesses,
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplayCheckpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayCheckpoints")
+            .field("segments", &self.segments())
+            .field("trace_len", &self.trace_len)
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+/// Splits `len` events into `segments` contiguous ranges whose sizes differ by at most
+/// one, returned as `segments + 1` boundary indices.
+pub(crate) fn segment_bounds(len: usize, segments: usize) -> Vec<usize> {
+    let segments = segments.max(1);
+    let base = len / segments;
+    let rem = len % segments;
+    let mut bounds = Vec::with_capacity(segments + 1);
+    let mut pos = 0usize;
+    bounds.push(0);
+    for s in 0..segments {
+        pos += base + usize::from(s < rem);
+        bounds.push(pos);
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_the_trace_evenly() {
+        assert_eq!(segment_bounds(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(segment_bounds(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(segment_bounds(2, 4), vec![0, 1, 2, 2, 2]);
+        assert_eq!(segment_bounds(0, 1), vec![0, 0]);
+        assert_eq!(segment_bounds(5, 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn bounds_clamp_zero_segments() {
+        assert_eq!(segment_bounds(4, 0), vec![0, 4]);
+    }
+}

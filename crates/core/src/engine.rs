@@ -14,6 +14,7 @@
 //! * the backend is a `Box<dyn MemoryBackend>`, so the same engine drives the column
 //!   cache, the set-associative baseline or the ideal scratchpad.
 
+use crate::checkpoint::ReplayCheckpoints;
 use crate::error::CoreError;
 use crate::observe::{ReplayObserver, WindowTracker};
 use crate::runner::{CacheMapping, RunResult};
@@ -112,9 +113,16 @@ impl ReplayEngine {
         self.backend.as_mut()
     }
 
-    /// Overrides the batch size (mainly for tests; 0 is treated as 1).
+    /// Overrides the batch size (mainly for tests and the bench harness; 0 is treated
+    /// as 1). This is the **only** place the ≥ 1 invariant is enforced — the replay
+    /// loops rely on it and never re-clamp.
     pub fn set_batch_size(&mut self, batch: usize) {
         self.batch = batch.max(1);
+    }
+
+    /// References handed to the backend per [`MemoryBackend::run_batch`] call.
+    pub fn batch_size(&self) -> usize {
+        self.batch
     }
 
     /// Programs a cache mapping into the backend.
@@ -203,7 +211,7 @@ impl ReplayEngine {
     pub fn replay(&mut self, name: &str, trace: &Trace) -> RunResult {
         let control_before = self.backend.control_cycles();
         self.backend.reset_stats();
-        for chunk in trace.as_slice().chunks(self.batch.max(1)) {
+        for chunk in trace.as_slice().chunks(self.batch) {
             self.buffer.clear();
             self.buffer
                 .extend(chunk.iter().map(|ev| (ev.addr, ev.is_write())));
@@ -235,7 +243,7 @@ impl ReplayEngine {
         self.backend.reset_stats();
         loop {
             self.buffer.clear();
-            if reader.read_chunk(&mut self.buffer, self.batch.max(1))? == 0 {
+            if reader.read_chunk(&mut self.buffer, self.batch)? == 0 {
                 break;
             }
             self.backend.run_batch(&self.buffer);
@@ -270,7 +278,7 @@ impl ReplayEngine {
         let mut pos = 0usize;
         while pos < events.len() {
             let n = (tracker.until_boundary(pos as u64) as usize)
-                .min(self.batch.max(1))
+                .min(self.batch)
                 .min(events.len() - pos);
             self.buffer.clear();
             self.buffer.extend(
@@ -304,9 +312,11 @@ impl ReplayEngine {
         let mut tracker = WindowTracker::new(window);
         let mut replayed = 0u64;
         loop {
-            let cap = (tracker.until_boundary(replayed) as usize).min(self.batch.max(1));
+            let cap = (tracker.until_boundary(replayed) as usize)
+                .min(self.batch)
+                .max(1);
             self.buffer.clear();
-            if reader.read_chunk(&mut self.buffer, cap.max(1))? == 0 {
+            if reader.read_chunk(&mut self.buffer, cap)? == 0 {
                 break;
             }
             self.backend.run_batch(&self.buffer);
@@ -320,6 +330,54 @@ impl ReplayEngine {
             self.backend.as_ref(),
             control_before,
         ))
+    }
+
+    /// Records per-segment [`ReplayCheckpoints`] for `trace` with one sequential
+    /// warm-up replay: the trace is split into `segments` contiguous ranges (clamped to
+    /// `1..=trace.len()`), the backend is cloned at each boundary, and the segments can
+    /// then replay concurrently via [`ReplayCheckpoints::replay`] with results
+    /// byte-identical to [`ReplayEngine::replay`].
+    ///
+    /// The warm-up behaves exactly like [`ReplayEngine::replay`] as far as the engine
+    /// is concerned — statistics are reset first and the backend ends in the
+    /// whole-trace end state — only the [`RunResult`] assembly is deferred to the
+    /// checkpoints.
+    pub fn checkpoint(&mut self, trace: &Trace, segments: usize) -> ReplayCheckpoints {
+        let events = trace.as_slice();
+        let segments = segments.clamp(1, events.len().max(1));
+        let bounds = crate::checkpoint::segment_bounds(events.len(), segments);
+        let control_before = self.backend.control_cycles();
+        self.backend.reset_stats();
+        let mut checkpoints = Vec::with_capacity(segments);
+        for s in 0..segments {
+            checkpoints.push(self.backend.boxed_clone());
+            for chunk in events[bounds[s]..bounds[s + 1]].chunks(self.batch) {
+                self.buffer.clear();
+                self.buffer
+                    .extend(chunk.iter().map(|ev| (ev.addr, ev.is_write())));
+                self.backend.run_batch(&self.buffer);
+            }
+        }
+        ReplayCheckpoints::new(
+            checkpoints,
+            bounds,
+            events.len(),
+            control_before,
+            self.batch,
+        )
+    }
+
+    /// Convenience: [`ReplayEngine::checkpoint`] followed by one
+    /// [`ReplayCheckpoints::replay`] — a checkpoint-parallel replay of one trace whose
+    /// result is byte-identical to the sequential [`ReplayEngine::replay`].
+    ///
+    /// The warm-up pass is itself a full sequential replay, so a single
+    /// checkpoint-parallel run is *not* faster than `replay`; the win comes from
+    /// keeping the checkpoints and replaying the same trace many times (fitness loops,
+    /// benchmarking), or treating the warm-up as the first of many measured runs.
+    pub fn replay_checkpointed(&mut self, name: &str, trace: &Trace, segments: usize) -> RunResult {
+        let checkpoints = self.checkpoint(trace, segments);
+        checkpoints.replay(name, trace)
     }
 }
 

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod placement;
 pub mod report;
 pub mod runner;
 
+pub use checkpoint::ReplayCheckpoints;
 pub use dynamic::{run_dynamic, run_dynamic_observed, DynamicRunResult, Figure4dResult};
 pub use engine::ReplayEngine;
 pub use error::CoreError;
@@ -74,6 +76,7 @@ pub use runner::{run_on, run_trace, run_trace_on, CacheMapping, RegionMapping, R
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {
+    pub use crate::checkpoint::ReplayCheckpoints;
     pub use crate::dynamic::{run_dynamic, Figure4dResult};
     pub use crate::engine::ReplayEngine;
     pub use crate::error::CoreError;

@@ -1,0 +1,173 @@
+//! Checkpoint-parallel replay parity: splitting one trace into N segments and replaying
+//! them from per-segment snapshots (on worker threads when the `parallel` feature is on)
+//! must be **byte-identical** to sequential batched replay, which in turn must be
+//! identical to per-reference replay. These tests pin that contract across random
+//! traces, segment counts (including N = 1 and N far beyond the trace length),
+//! geometries, mappings and batch sizes — and pin the streaming observer time series to
+//! per-reference batching semantics.
+
+use ccache_core::engine::ReplayEngine;
+use ccache_core::observe::SeriesRecorder;
+use ccache_core::runner::{run_on, CacheMapping, RegionMapping};
+use ccache_sim::backend::BackendKind;
+use ccache_sim::{ColumnMask, SystemConfig};
+use ccache_trace::synth::{interleave, pseudo_random, sequential_scan};
+use ccache_trace::Trace;
+use proptest::prelude::*;
+
+/// A mapping that exercises every access class: two column-restricted regions, one
+/// exclusive (preloaded) region and one uncached region, plus a narrowed default mask.
+fn mapping(col_a: usize, col_b: usize) -> CacheMapping {
+    let mut m = CacheMapping::new();
+    m.map(
+        0x0000,
+        0x2000,
+        RegionMapping::Columns {
+            mask: ColumnMask::single(col_a),
+        },
+    );
+    m.map(
+        0x4000,
+        0x1000,
+        RegionMapping::Columns {
+            mask: ColumnMask::from_columns([col_b, (col_b + 1) % 4]),
+        },
+    );
+    m.map(0x6000, 0x800, RegionMapping::Uncached);
+    m.map(
+        0x7000,
+        0x400,
+        RegionMapping::Exclusive {
+            mask: ColumnMask::single((col_a + 2) % 4),
+            preload: true,
+        },
+    );
+    m
+}
+
+/// A freshly built and programmed engine; every replay path under comparison starts
+/// from this exact state.
+fn engine(col_a: usize, col_b: usize) -> ReplayEngine {
+    let config = SystemConfig {
+        page_size: 256,
+        ..SystemConfig::default()
+    };
+    let mut e = ReplayEngine::new(BackendKind::ColumnCache, config).expect("valid config");
+    e.apply(&mapping(col_a, col_b)).expect("valid mapping");
+    e
+}
+
+/// A trace mixing random traffic over the mapped regions with a sequential stream.
+fn trace(seed: u64, count: usize) -> Trace {
+    let random = pseudo_random(0, 0x8000, 4, count, seed, None);
+    let stream = sequential_scan(0x1_0000, (count as u64 / 4 + 1) * 32, 32, 4, 1, None);
+    interleave(&[random, stream], 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpointed replay equals sequential batched replay equals per-reference replay,
+    /// field for field, for arbitrary traces, segment counts and column mappings.
+    /// Segment counts beyond the trace length must clamp, not fail.
+    #[test]
+    fn checkpointed_replay_is_byte_identical_to_sequential(
+        seed in 0u64..1_000,
+        count in 1usize..600,
+        segments in 1usize..2_000,
+        col_a in 0usize..4,
+        col_b in 0usize..4,
+    ) {
+        let t = trace(seed, count);
+
+        let sequential = engine(col_a, col_b).replay("parity", &t);
+        let per_reference = run_on("parity", engine(col_a, col_b).backend_mut(), &t)
+            .expect("per-reference replay succeeds");
+        let checkpointed = engine(col_a, col_b).replay_checkpointed("parity", &t, segments);
+
+        prop_assert_eq!(&sequential, &per_reference);
+        prop_assert_eq!(&sequential, &checkpointed);
+    }
+
+    /// A recorded [`ccache_core::ReplayCheckpoints`] is immutable: replaying it any
+    /// number of times yields the same result, and the result does not depend on the
+    /// engine's batch size at warm-up time.
+    #[test]
+    fn checkpoints_replay_deterministically_for_any_batch_size(
+        seed in 0u64..1_000,
+        count in 1usize..300,
+        segments in 1usize..16,
+        batch in 1usize..64,
+    ) {
+        let t = trace(seed, count);
+
+        let mut small = engine(0, 1);
+        small.set_batch_size(batch);
+        let checkpoints = small.checkpoint(&t, segments);
+        let first = checkpoints.replay("parity", &t);
+        let second = checkpoints.replay("parity", &t);
+        prop_assert_eq!(&first, &second);
+
+        let default_batch = engine(0, 1).replay_checkpointed("parity", &t, segments);
+        prop_assert_eq!(&first, &default_batch);
+    }
+
+    /// The streaming observer's time series is a pure function of the trace and window —
+    /// batch size must not shift window boundaries or alter any sample.
+    #[test]
+    fn observer_series_is_independent_of_batch_size(
+        seed in 0u64..1_000,
+        count in 1usize..400,
+        window in 1u64..512,
+        batch in 1usize..64,
+    ) {
+        let t = trace(seed, count);
+
+        let mut per_ref = engine(2, 3);
+        per_ref.set_batch_size(1);
+        let mut per_ref_series = SeriesRecorder::new(window);
+        let per_ref_result = per_ref.replay_observed("parity", &t, window, &mut per_ref_series);
+
+        let mut batched = engine(2, 3);
+        batched.set_batch_size(batch);
+        let mut batched_series = SeriesRecorder::new(window);
+        let batched_result = batched.replay_observed("parity", &t, window, &mut batched_series);
+
+        prop_assert_eq!(&per_ref_result, &batched_result);
+        prop_assert_eq!(per_ref_series.series(), batched_series.series());
+    }
+}
+
+#[test]
+fn single_segment_checkpointing_equals_plain_replay() {
+    let t = trace(7, 200);
+    let sequential = engine(1, 2).replay("parity", &t);
+    let one_segment = engine(1, 2).replay_checkpointed("parity", &t, 1);
+    assert_eq!(sequential, one_segment);
+}
+
+#[test]
+fn more_segments_than_events_clamps_to_one_per_event() {
+    let t = trace(11, 5);
+    let sequential = engine(0, 3).replay("parity", &t);
+    let oversplit = engine(0, 3).replay_checkpointed("parity", &t, 10_000);
+    assert_eq!(sequential, oversplit);
+}
+
+#[test]
+fn empty_traces_checkpoint_without_panicking() {
+    let t = Trace::new();
+    let result = engine(0, 0).replay_checkpointed("empty", &t, 8);
+    assert_eq!(result.references, 0);
+    assert_eq!(result.hits, 0);
+    assert_eq!(result.misses, 0);
+}
+
+#[test]
+fn checkpoint_metadata_reports_the_split() {
+    let t = trace(3, 100);
+    let mut e = engine(0, 0);
+    let checkpoints = e.checkpoint(&t, 4);
+    assert_eq!(checkpoints.segments(), 4);
+    assert_eq!(checkpoints.trace_len(), t.len());
+}

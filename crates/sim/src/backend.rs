@@ -48,7 +48,7 @@ use std::ops::Range;
 /// assert!(backend.cache_stats().misses > 0);
 /// # Ok::<(), ccache_sim::SimError>(())
 /// ```
-pub trait MemoryBackend: Send {
+pub trait MemoryBackend: Send + Sync {
     /// A short stable identifier (`"column-cache"`, `"set-assoc"`, `"ideal-scratchpad"`).
     fn name(&self) -> &'static str;
 

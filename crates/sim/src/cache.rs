@@ -4,6 +4,25 @@
 //! Lookup behaves exactly like a standard set-associative cache — every way of the selected
 //! set is searched — so a hit never depends on the mask and repartitioning is graceful
 //! (Section 2.1). Only victim selection on a miss is restricted to the allowed columns.
+//!
+//! # Layout: struct-of-arrays
+//!
+//! Cache state is stored as packed per-set arrays rather than an array of
+//! [`CacheLine`] structs: one contiguous tag vector (`sets × columns`, row-major by
+//! set) and one `u64` valid/dirty bitmask per set. The invariants the layout maintains:
+//!
+//! * bit `w` of `valid[set]` is set **iff** way `w` of `set` holds a live line, and
+//!   `tags[set * columns + w]` is meaningful only while that bit is set;
+//! * `dirty[set]` is always a subset of `valid[set]` (`dirty & !valid == 0`);
+//! * at most one valid way of a set carries any given tag (fills happen only on
+//!   misses), so the first match found in ascending way order is *the* match.
+//!
+//! This keeps the hot probe loop branch-light — iterate the set bits of `valid[set]`
+//! over a contiguous tag row — and makes line validity available to the replacement
+//! unit as a ready-made `u64` mask, so victim selection allocates nothing. Address
+//! splitting uses precomputed shifts/masks (line size and set count are validated
+//! powers of two) instead of division. The [`CacheLine`] struct survives as the
+//! *view* type returned by [`ColumnCache::line`].
 
 use crate::config::CacheConfig;
 use crate::error::SimError;
@@ -72,13 +91,10 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct CacheSet {
-    lines: Vec<CacheLine>,
-    repl: ReplacementState,
-}
-
 /// A software-partitionable set-associative cache.
+///
+/// State is held in struct-of-arrays form — packed per-set tag rows plus `u64`
+/// valid/dirty bitmasks — see the module docs for the layout invariants.
 ///
 /// # Example
 ///
@@ -95,23 +111,50 @@ struct CacheSet {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnCache {
     config: CacheConfig,
-    sets: Vec<CacheSet>,
+    /// `log2(line_size)` — the offset width of an address.
+    line_shift: u32,
+    /// `log2(sets)` — the index width of an address.
+    set_bits: u32,
+    /// `sets - 1`, the index extraction mask.
+    set_mask: u64,
+    /// `config.columns()`, kept local to the hot path.
+    columns: usize,
+    /// All-ways mask: bit `w` set for every existing column `w`.
+    ways_mask: u64,
+    /// Tags, row-major by set: way `w` of set `s` is `tags[s * columns + w]`.
+    tags: Vec<u64>,
+    /// Per-set validity bitmask (bit `w` = way `w` holds a live line).
+    valid: Vec<u64>,
+    /// Per-set dirtiness bitmask; always a subset of `valid`.
+    dirty: Vec<u64>,
+    /// Per-set replacement state.
+    repl: Vec<ReplacementState>,
     stats: CacheStats,
 }
 
 impl ColumnCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = (0..config.sets())
-            .map(|i| CacheSet {
-                lines: vec![CacheLine::default(); config.columns()],
-                repl: ReplacementState::new(config.replacement(), config.columns(), i as u64 + 1),
-            })
-            .collect();
+        let sets = config.sets();
+        let columns = config.columns();
         ColumnCache {
             config,
-            sets,
-            stats: CacheStats::new(config.columns()),
+            line_shift: config.line_size().trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+            columns,
+            ways_mask: if columns >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << columns) - 1
+            },
+            tags: vec![0; sets * columns],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            repl: (0..sets)
+                .map(|i| ReplacementState::new(config.replacement(), columns, i as u64 + 1))
+                .collect(),
+            stats: CacheStats::new(columns),
         }
     }
 
@@ -127,7 +170,36 @@ impl ColumnCache {
 
     /// Resets statistics to zero without touching cache contents.
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::new(self.config.columns());
+        self.stats = CacheStats::new(self.columns);
+    }
+
+    /// Splits an address into `(tag, set index)` with the precomputed shift/mask pair —
+    /// the allocation- and division-free equivalent of
+    /// [`CacheConfig::split_addr`](crate::config::CacheConfig::split_addr).
+    #[inline]
+    fn tag_and_set(&self, addr: u64) -> (u64, usize) {
+        let line = addr >> self.line_shift;
+        ((line >> self.set_bits), (line & self.set_mask) as usize)
+    }
+
+    /// Reconstructs a line's base address from its tag and set index.
+    #[inline]
+    fn line_addr(&self, tag: u64, set_idx: usize) -> u64 {
+        ((tag << self.set_bits) | set_idx as u64) << self.line_shift
+    }
+
+    /// The state of way `column` of `set` as a [`CacheLine`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `column` is out of range.
+    pub fn line(&self, set: usize, column: usize) -> CacheLine {
+        assert!(set < self.valid.len() && column < self.columns);
+        CacheLine {
+            valid: self.valid[set] & (1 << column) != 0,
+            dirty: self.dirty[set] & (1 << column) != 0,
+            tag: self.tags[set * self.columns + column],
+        }
     }
 
     /// Presents one access to the cache and returns what happened.
@@ -135,52 +207,63 @@ impl ColumnCache {
     /// `mask` restricts which columns the replacement unit may fill on a miss; it never
     /// affects lookup. An empty (or fully out-of-range) effective mask turns the access into
     /// a [`AccessOutcome::Bypass`].
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool, mask: ColumnMask) -> AccessOutcome {
-        let (tag, set_idx, _off) = self.config.split_addr(addr);
-        let columns = self.config.columns();
-        let set = &mut self.sets[set_idx];
+        let (tag, set_idx) = self.tag_and_set(addr);
+        let base = set_idx * self.columns;
         self.stats.accesses += 1;
 
-        // Lookup searches every column regardless of the mask.
-        if let Some(way) = set.lines.iter().position(|l| l.valid && l.tag == tag) {
-            set.repl.on_access(way);
-            if is_write {
-                set.lines[way].dirty = true;
+        // Lookup searches every (valid) column regardless of the mask: iterate the set
+        // bits of the validity mask over the contiguous tag row. At most one valid way
+        // can carry this tag, so the first match is the only match.
+        let valid_bits = self.valid[set_idx];
+        let mut probe = valid_bits;
+        while probe != 0 {
+            let way = probe.trailing_zeros() as usize;
+            if self.tags[base + way] == tag {
+                self.repl[set_idx].on_access(way);
+                if is_write {
+                    self.dirty[set_idx] |= 1 << way;
+                }
+                self.stats.hits += 1;
+                self.stats.column_hits[way] += 1;
+                return AccessOutcome::Hit { column: way };
             }
-            self.stats.hits += 1;
-            self.stats.column_hits[way] += 1;
-            return AccessOutcome::Hit { column: way };
+            probe &= probe - 1;
         }
 
-        // Miss: restrict the fill to the allowed columns.
-        let effective = mask.truncate(columns);
-        let valid: Vec<bool> = set.lines.iter().map(|l| l.valid).collect();
-        let Some(way) = set.repl.victim(effective, &valid) else {
+        // Miss: restrict the fill to the allowed columns. The validity mask is already
+        // in the form the replacement unit wants — no per-miss allocation.
+        let effective = ColumnMask::from_bits(mask.bits() & self.ways_mask);
+        let Some(way) = self.repl[set_idx].victim(effective, valid_bits) else {
             self.stats.bypasses += 1;
             return AccessOutcome::Bypass;
         };
 
-        let victim = set.lines[way];
-        let evicted = if victim.valid {
+        let bit = 1u64 << way;
+        let evicted = if valid_bits & bit != 0 {
+            let was_dirty = self.dirty[set_idx] & bit != 0;
             self.stats.evictions += 1;
-            if victim.dirty {
+            if was_dirty {
                 self.stats.writebacks += 1;
             }
             Some(Eviction {
-                line_addr: self.config.line_addr(victim.tag, set_idx),
-                dirty: victim.dirty,
+                line_addr: self.line_addr(self.tags[base + way], set_idx),
+                dirty: was_dirty,
                 column: way,
             })
         } else {
             None
         };
 
-        set.lines[way] = CacheLine {
-            valid: true,
-            dirty: is_write,
-            tag,
-        };
-        set.repl.on_fill(way);
+        self.tags[base + way] = tag;
+        self.valid[set_idx] |= bit;
+        if is_write {
+            self.dirty[set_idx] |= bit;
+        } else {
+            self.dirty[set_idx] &= !bit;
+        }
+        self.repl[set_idx].on_fill(way);
         self.stats.misses += 1;
         self.stats.column_fills[way] += 1;
         AccessOutcome::Miss {
@@ -191,11 +274,17 @@ impl ColumnCache {
 
     /// Non-mutating lookup: returns the column holding `addr`, if cached.
     pub fn probe(&self, addr: u64) -> Option<usize> {
-        let (tag, set_idx, _off) = self.config.split_addr(addr);
-        self.sets[set_idx]
-            .lines
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
+        let (tag, set_idx) = self.tag_and_set(addr);
+        let base = set_idx * self.columns;
+        let mut probe = self.valid[set_idx];
+        while probe != 0 {
+            let way = probe.trailing_zeros() as usize;
+            if self.tags[base + way] == tag {
+                return Some(way);
+            }
+            probe &= probe - 1;
+        }
+        None
     }
 
     /// Returns `true` if `addr` is currently cached.
@@ -223,14 +312,10 @@ impl ColumnCache {
     /// dropped.
     pub fn invalidate_all(&mut self) -> u64 {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            for line in &mut set.lines {
-                if line.valid {
-                    dropped += 1;
-                    line.valid = false;
-                    line.dirty = false;
-                }
-            }
+        for set in 0..self.valid.len() {
+            dropped += u64::from(self.valid[set].count_ones());
+            self.valid[set] = 0;
+            self.dirty[set] = 0;
         }
         dropped
     }
@@ -239,14 +324,10 @@ impl ColumnCache {
     /// writebacks performed (also added to the statistics).
     pub fn flush(&mut self) -> u64 {
         let mut writebacks = 0;
-        for set in &mut self.sets {
-            for line in &mut set.lines {
-                if line.valid && line.dirty {
-                    writebacks += 1;
-                }
-                line.valid = false;
-                line.dirty = false;
-            }
+        for set in 0..self.valid.len() {
+            writebacks += u64::from((self.valid[set] & self.dirty[set]).count_ones());
+            self.valid[set] = 0;
+            self.dirty[set] = 0;
         }
         self.stats.writebacks += writebacks;
         writebacks
@@ -258,32 +339,35 @@ impl ColumnCache {
     ///
     /// Returns [`SimError::ColumnOutOfRange`] if `column` does not exist.
     pub fn occupancy(&self, column: usize) -> Result<usize, SimError> {
-        if column >= self.config.columns() {
+        if column >= self.columns {
             return Err(SimError::ColumnOutOfRange {
                 column,
-                columns: self.config.columns(),
+                columns: self.columns,
             });
         }
-        Ok(self.sets.iter().filter(|s| s.lines[column].valid).count())
+        let bit = 1u64 << column;
+        Ok(self.valid.iter().filter(|&&v| v & bit != 0).count())
     }
 
     /// Total number of valid lines in the cache.
     pub fn valid_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.lines.iter().filter(|l| l.valid).count())
-            .sum()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// Iterates over `(set, column, line)` for every valid line — used by tests and
     /// invariant checks.
     pub fn valid_line_addrs(&self) -> Vec<(usize, usize, u64)> {
         let mut out = Vec::new();
-        for (si, set) in self.sets.iter().enumerate() {
-            for (wi, line) in set.lines.iter().enumerate() {
-                if line.valid {
-                    out.push((si, wi, self.config.line_addr(line.tag, si)));
-                }
+        for (si, &valid) in self.valid.iter().enumerate() {
+            let mut bits = valid;
+            while bits != 0 {
+                let wi = bits.trailing_zeros() as usize;
+                out.push((
+                    si,
+                    wi,
+                    self.line_addr(self.tags[si * self.columns + wi], si),
+                ));
+                bits &= bits - 1;
             }
         }
         out

@@ -35,6 +35,7 @@ impl MainMemory {
     }
 
     /// Records a line fill of `bytes` bytes and returns its cost in cycles.
+    #[inline]
     pub fn read_line(&mut self, bytes: u64) -> u64 {
         self.line_reads += 1;
         self.bytes_read += bytes;
@@ -42,6 +43,7 @@ impl MainMemory {
     }
 
     /// Records a writeback of `bytes` bytes and returns its cost in cycles.
+    #[inline]
     pub fn write_line(&mut self, bytes: u64) -> u64 {
         self.line_writes += 1;
         self.bytes_written += bytes;

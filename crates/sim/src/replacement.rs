@@ -90,18 +90,42 @@ impl ReplacementState {
     }
 
     /// Records a hit on `way`.
+    ///
+    /// Only the structures the active policy consults are updated: LRU stamps for
+    /// [`ReplacementPolicy::Lru`], MRU bits for [`ReplacementPolicy::BitPlru`]. The other
+    /// policies ignore re-hits entirely, so this is a no-op for them — hits dominate any
+    /// realistic trace, and this runs once per hit.
+    #[inline]
     pub fn on_access(&mut self, way: usize) {
-        self.clock += 1;
-        self.use_stamp[way] = self.clock;
-        self.touch_plru(way);
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.clock += 1;
+                self.use_stamp[way] = self.clock;
+            }
+            ReplacementPolicy::BitPlru => self.touch_plru(way),
+            ReplacementPolicy::Fifo | ReplacementPolicy::RoundRobin | ReplacementPolicy::Random => {
+            }
+        }
     }
 
     /// Records a fill (miss that installed a new line) into `way`.
+    ///
+    /// As with [`ReplacementState::on_access`], only the active policy's structures are
+    /// touched; relative stamp order — all any policy compares — is unaffected.
+    #[inline]
     pub fn on_fill(&mut self, way: usize) {
-        self.clock += 1;
-        self.use_stamp[way] = self.clock;
-        self.fill_stamp[way] = self.clock;
-        self.touch_plru(way);
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                self.clock += 1;
+                self.use_stamp[way] = self.clock;
+            }
+            ReplacementPolicy::Fifo => {
+                self.clock += 1;
+                self.fill_stamp[way] = self.clock;
+            }
+            ReplacementPolicy::BitPlru => self.touch_plru(way),
+            ReplacementPolicy::RoundRobin | ReplacementPolicy::Random => {}
+        }
     }
 
     fn touch_plru(&mut self, way: usize) {
@@ -115,41 +139,58 @@ impl ReplacementState {
 
     /// Chooses the victim way for a miss restricted to `allowed` columns.
     ///
-    /// Invalid ways (where `valid[way]` is `false`) inside the allowed mask are always used
-    /// first, in ascending way order. Otherwise the policy picks among the allowed ways.
+    /// `valid` is a bitmask of ways currently holding a valid line (bit `w` set means
+    /// way `w` is valid); bits at or above [`ReplacementState::ways`] are ignored.
+    /// Invalid ways inside the allowed mask are always used first, in ascending way
+    /// order. Otherwise the policy picks among the allowed ways. The whole selection is
+    /// bit arithmetic over the candidate mask — no allocation on this path, which a
+    /// miss takes on every fill.
     ///
     /// Returns `None` if the mask selects no way of this set (the caller treats the access
     /// as uncacheable, which cannot happen through the public `MemorySystem` API because
     /// masks are validated when tints are defined).
-    pub fn victim(&mut self, allowed: ColumnMask, valid: &[bool]) -> Option<usize> {
+    pub fn victim(&mut self, allowed: ColumnMask, valid: u64) -> Option<usize> {
         let ways = self.ways();
-        debug_assert_eq!(valid.len(), ways);
-        let candidates: Vec<usize> = (0..ways).filter(|&w| allowed.contains(w)).collect();
-        if candidates.is_empty() {
+        let ways_mask = if ways >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        };
+        let candidates = allowed.bits() & ways_mask;
+        if candidates == 0 {
             return None;
         }
-        if let Some(&w) = candidates.iter().find(|&&w| !valid[w]) {
-            return Some(w);
+        let empty = candidates & !valid;
+        if empty != 0 {
+            return Some(empty.trailing_zeros() as usize);
         }
         let chosen = match self.policy {
-            ReplacementPolicy::Lru => *candidates
-                .iter()
-                .min_by_key(|&&w| self.use_stamp[w])
-                .expect("candidates nonempty"),
-            ReplacementPolicy::Fifo => *candidates
-                .iter()
-                .min_by_key(|&&w| self.fill_stamp[w])
-                .expect("candidates nonempty"),
-            ReplacementPolicy::BitPlru => *candidates
-                .iter()
-                .find(|&&w| !self.mru_bit[w])
-                .unwrap_or(&candidates[0]),
+            ReplacementPolicy::Lru => min_stamp_way(candidates, &self.use_stamp),
+            ReplacementPolicy::Fifo => min_stamp_way(candidates, &self.fill_stamp),
+            ReplacementPolicy::BitPlru => {
+                let mut rest = candidates;
+                loop {
+                    if rest == 0 {
+                        // every allowed way is recently used: fall back to the lowest
+                        break candidates.trailing_zeros() as usize;
+                    }
+                    let w = rest.trailing_zeros() as usize;
+                    if !self.mru_bit[w] {
+                        break w;
+                    }
+                    rest &= rest - 1;
+                }
+            }
             ReplacementPolicy::RoundRobin => {
-                let pos = candidates
-                    .iter()
-                    .position(|&w| w >= self.next_rr)
-                    .unwrap_or(0);
-                let w = candidates[pos];
+                // The first allowed way at or after the round-robin pointer, wrapping
+                // to the lowest allowed way. `next_rr < ways <= 64`, so the shift that
+                // clears the ways below the pointer is well defined.
+                let at_or_after = candidates & (u64::MAX << self.next_rr);
+                let w = if at_or_after != 0 {
+                    at_or_after.trailing_zeros() as usize
+                } else {
+                    candidates.trailing_zeros() as usize
+                };
                 self.next_rr = (w + 1) % ways;
                 w
             }
@@ -158,29 +199,60 @@ impl ReplacementState {
                 self.rng ^= self.rng << 13;
                 self.rng ^= self.rng >> 7;
                 self.rng ^= self.rng << 17;
-                candidates[(self.rng % candidates.len() as u64) as usize]
+                let k = (self.rng % u64::from(candidates.count_ones())) as u32;
+                nth_set_bit(candidates, k)
             }
         };
         Some(chosen)
     }
 }
 
+/// The lowest-indexed way among `candidates` with the minimal stamp — the bitmask
+/// equivalent of `min_by_key` over ascending way order (first minimum wins).
+fn min_stamp_way(candidates: u64, stamps: &[u64]) -> usize {
+    let mut rest = candidates;
+    let mut best = rest.trailing_zeros() as usize;
+    rest &= rest - 1;
+    while rest != 0 {
+        let w = rest.trailing_zeros() as usize;
+        if stamps[w] < stamps[best] {
+            best = w;
+        }
+        rest &= rest - 1;
+    }
+    best
+}
+
+/// The `k`-th (0-based) set bit of `mask`, ascending. `k` must be less than
+/// `mask.count_ones()`.
+fn nth_set_bit(mask: u64, k: u32) -> usize {
+    let mut rest = mask;
+    for _ in 0..k {
+        rest &= rest - 1;
+    }
+    rest.trailing_zeros() as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn all_valid(n: usize) -> Vec<bool> {
-        vec![true; n]
+    fn all_valid(n: usize) -> u64 {
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
     }
 
     #[test]
     fn invalid_ways_are_preferred() {
         let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 1);
-        let valid = vec![true, false, true, false];
-        let v = st.victim(ColumnMask::all(4), &valid).unwrap();
+        let valid = 0b0101; // ways 0 and 2 valid, 1 and 3 empty
+        let v = st.victim(ColumnMask::all(4), valid).unwrap();
         assert_eq!(v, 1);
         // restricted to column 3 which is invalid
-        let v = st.victim(ColumnMask::single(3), &valid).unwrap();
+        let v = st.victim(ColumnMask::single(3), valid).unwrap();
         assert_eq!(v, 3);
     }
 
@@ -193,10 +265,10 @@ mod tests {
         st.on_access(0);
         st.on_access(1);
         // way 2 is now the LRU of the full mask
-        assert_eq!(st.victim(ColumnMask::all(4), &all_valid(4)), Some(2));
+        assert_eq!(st.victim(ColumnMask::all(4), all_valid(4)), Some(2));
         // but restricted to columns {0,1}, way 0 is older than way 1
         assert_eq!(
-            st.victim(ColumnMask::from_columns([0, 1]), &all_valid(4)),
+            st.victim(ColumnMask::from_columns([0, 1]), all_valid(4)),
             Some(0)
         );
     }
@@ -207,7 +279,7 @@ mod tests {
         st.on_fill(0);
         st.on_fill(1);
         st.on_access(0); // re-hit must not refresh FIFO order
-        assert_eq!(st.victim(ColumnMask::all(2), &all_valid(2)), Some(0));
+        assert_eq!(st.victim(ColumnMask::all(2), all_valid(2)), Some(0));
     }
 
     #[test]
@@ -215,18 +287,18 @@ mod tests {
         let mut st = ReplacementState::new(ReplacementPolicy::BitPlru, 2, 1);
         st.on_fill(0);
         // way 1 not recently used
-        assert_eq!(st.victim(ColumnMask::all(2), &all_valid(2)), Some(1));
+        assert_eq!(st.victim(ColumnMask::all(2), all_valid(2)), Some(1));
         st.on_fill(1); // all bits set -> cleared except way 1
-        assert_eq!(st.victim(ColumnMask::all(2), &all_valid(2)), Some(0));
+        assert_eq!(st.victim(ColumnMask::all(2), all_valid(2)), Some(0));
     }
 
     #[test]
     fn round_robin_cycles_through_allowed_ways() {
         let mut st = ReplacementState::new(ReplacementPolicy::RoundRobin, 4, 1);
         let mask = ColumnMask::from_columns([1, 3]);
-        let v1 = st.victim(mask, &all_valid(4)).unwrap();
-        let v2 = st.victim(mask, &all_valid(4)).unwrap();
-        let v3 = st.victim(mask, &all_valid(4)).unwrap();
+        let v1 = st.victim(mask, all_valid(4)).unwrap();
+        let v2 = st.victim(mask, all_valid(4)).unwrap();
+        let v3 = st.victim(mask, all_valid(4)).unwrap();
         assert!(mask.contains(v1) && mask.contains(v2) && mask.contains(v3));
         assert_ne!(v1, v2);
         assert_eq!(v1, v3);
@@ -238,8 +310,8 @@ mod tests {
         let mut b = ReplacementState::new(ReplacementPolicy::Random, 8, 42);
         let mask = ColumnMask::from_columns([2, 5, 6]);
         for _ in 0..100 {
-            let va = a.victim(mask, &all_valid(8)).unwrap();
-            let vb = b.victim(mask, &all_valid(8)).unwrap();
+            let va = a.victim(mask, all_valid(8)).unwrap();
+            let vb = b.victim(mask, all_valid(8)).unwrap();
             assert_eq!(va, vb);
             assert!(mask.contains(va));
         }
@@ -248,7 +320,7 @@ mod tests {
     #[test]
     fn empty_mask_yields_no_victim() {
         let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4, 1);
-        assert_eq!(st.victim(ColumnMask::EMPTY, &all_valid(4)), None);
+        assert_eq!(st.victim(ColumnMask::EMPTY, all_valid(4)), None);
     }
 
     #[test]

@@ -92,6 +92,18 @@ pub struct MemoryStats {
     pub tlb_flushes: u64,
 }
 
+impl AddAssign<&MemoryStats> for MemoryStats {
+    fn add_assign(&mut self, rhs: &MemoryStats) {
+        self.references += rhs.references;
+        self.memory_cycles += rhs.memory_cycles;
+        self.scratchpad_accesses += rhs.scratchpad_accesses;
+        self.uncached_accesses += rhs.uncached_accesses;
+        self.tlb_hits += rhs.tlb_hits;
+        self.tlb_misses += rhs.tlb_misses;
+        self.tlb_flushes += rhs.tlb_flushes;
+    }
+}
+
 /// A cycle/CPI report combining memory stalls with a simple in-order compute model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CycleReport {

@@ -324,11 +324,18 @@ impl MemorySystem {
     pub fn run_batch(&mut self, refs: &[(u64, bool)]) -> u64 {
         /// Direct-mapped translation-cache size; covers several interleaved streams.
         const WAYS: usize = 16;
+        /// Direct-mapped tint-mask cache size; tints are few and stable within a batch.
+        const TINT_WAYS: usize = 8;
         const EMPTY: u64 = u64::MAX;
         // (vpn, TLB slot index) per way; the entry itself always comes from the TLB.
         let mut tcache: [(u64, usize); WAYS] = [(EMPTY, 0); WAYS];
+        // (tint, resolved mask) per way. The tint table cannot change inside a batch
+        // (no control operation interleaves), so memoising `mask_or_default` here is
+        // exact — it lifts a tree lookup off every cacheable reference.
+        let mut mcache: [(u64, ColumnMask); TINT_WAYS] = [(EMPTY, ColumnMask::EMPTY); TINT_WAYS];
 
-        let page_size = self.config.page_size;
+        // Page size is a validated power of two, so page-number extraction is a shift.
+        let page_shift = self.config.page_size.trailing_zeros();
         let tlb_miss_penalty = self.config.latency.tlb_miss_penalty;
         // The full lookup, shared by the two slow paths (translation-cache miss and
         // stale slot), so miss accounting can never diverge between them.
@@ -351,7 +358,7 @@ impl MemorySystem {
                 total += self.config.latency.scratchpad_latency;
                 continue;
             }
-            let vpn = addr / page_size;
+            let vpn = addr >> page_shift;
             let way = (vpn as usize) % WAYS;
             let cached = tcache[way];
             let (entry, cycles) = if cached.0 == vpn {
@@ -366,20 +373,34 @@ impl MemorySystem {
             } else {
                 full_lookup(self, &mut tcache, addr, vpn, way)
             };
-            total += self.finish_access(addr, is_write, entry, cycles);
+            if !entry.cacheable {
+                self.stats.uncached_accesses += 1;
+                total += self.uncached_access(is_write, cycles);
+                continue;
+            }
+            let tint = u64::from(entry.tint.0);
+            let mway = (tint as usize) % TINT_WAYS;
+            let mask = if mcache[mway].0 == tint {
+                mcache[mway].1
+            } else {
+                let mask = self.tints.mask_or_default(entry.tint);
+                mcache[mway] = (tint, mask);
+                mask
+            };
+            total += self.cacheable_access(addr, is_write, mask, cycles);
         }
         total
     }
 
     /// Serves `addr` from the dedicated scratchpad if one covers it, charging cycles and
     /// statistics. Returns whether the access was absorbed.
+    #[inline]
     fn scratchpad_access(&mut self, addr: u64) -> bool {
-        let lat = self.config.latency;
         if let Some(sp) = self.scratchpad.as_mut() {
             if sp.contains(addr) {
                 sp.record_access();
                 self.stats.scratchpad_accesses += 1;
-                self.stats.memory_cycles += lat.scratchpad_latency;
+                self.stats.memory_cycles += self.config.latency.scratchpad_latency;
                 return true;
             }
         }
@@ -393,48 +414,69 @@ impl MemorySystem {
         addr: u64,
         is_write: bool,
         entry: crate::page_table::PageEntry,
-        mut cycles: u64,
+        cycles: u64,
     ) -> u64 {
-        let lat = self.config.latency;
         if !entry.cacheable {
             self.stats.uncached_accesses += 1;
-            cycles += lat.uncached_latency;
-            if is_write {
-                self.memory.write_line(8);
-            } else {
-                self.memory.read_line(8);
-            }
-            self.stats.memory_cycles += cycles;
-            return cycles;
+            return self.uncached_access(is_write, cycles);
         }
-
         let mask = self.tints.mask_or_default(entry.tint);
-        let line_size = self.config.cache.line_size();
-        match self.cache.access(addr, is_write, mask) {
-            AccessOutcome::Hit { .. } => {
-                cycles += lat.hit_latency;
-            }
-            AccessOutcome::Miss { evicted, .. } => {
-                cycles += lat.hit_latency;
-                cycles += self.memory.read_line(line_size).max(lat.miss_penalty);
-                if let Some(ev) = evicted {
-                    if ev.dirty {
-                        cycles += self.memory.write_line(line_size).max(lat.writeback_penalty);
-                    }
-                }
-            }
-            AccessOutcome::Bypass => {
-                self.stats.uncached_accesses += 1;
-                cycles += lat.uncached_latency;
-                if is_write {
-                    self.memory.write_line(8);
-                } else {
-                    self.memory.read_line(8);
-                }
-            }
+        self.cacheable_access(addr, is_write, mask, cycles)
+    }
+
+    /// Charges an access that goes straight to main memory (uncacheable page or masked-out
+    /// bypass). The caller accounts the `uncached_accesses` statistic — the two paths
+    /// classify it at different points.
+    #[inline]
+    fn uncached_access(&mut self, is_write: bool, mut cycles: u64) -> u64 {
+        cycles += self.config.latency.uncached_latency;
+        if is_write {
+            self.memory.write_line(8);
+        } else {
+            self.memory.read_line(8);
         }
         self.stats.memory_cycles += cycles;
         cycles
+    }
+
+    /// Drives the column cache with an already-resolved column mask and charges cycles.
+    #[inline]
+    fn cacheable_access(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        mask: ColumnMask,
+        cycles: u64,
+    ) -> u64 {
+        match self.cache.access(addr, is_write, mask) {
+            AccessOutcome::Hit { .. } => {
+                let cycles = cycles + self.config.latency.hit_latency;
+                self.stats.memory_cycles += cycles;
+                cycles
+            }
+            AccessOutcome::Miss { evicted, .. } => {
+                let line_size = self.config.cache.line_size();
+                let mut cycles = cycles + self.config.latency.hit_latency;
+                cycles += self
+                    .memory
+                    .read_line(line_size)
+                    .max(self.config.latency.miss_penalty);
+                if let Some(ev) = evicted {
+                    if ev.dirty {
+                        cycles += self
+                            .memory
+                            .write_line(line_size)
+                            .max(self.config.latency.writeback_penalty);
+                    }
+                }
+                self.stats.memory_cycles += cycles;
+                cycles
+            }
+            AccessOutcome::Bypass => {
+                self.stats.uncached_accesses += 1;
+                self.uncached_access(is_write, cycles)
+            }
+        }
     }
 
     /// Replays a sequence of `(address, is_write)` references and returns the total cycles.

@@ -136,6 +136,7 @@ impl Tlb {
     /// as a full [`Tlb::lookup`] hit would (clock advance, LRU update, hit counted) and
     /// returns its entry. Returns `None` — with **no** state change — when the slot was
     /// reused for another page, in which case the caller falls back to a full lookup.
+    #[inline]
     pub fn probe_slot(&mut self, idx: usize, vpn: u64) -> Option<PageEntry> {
         let slot = self.slots.get_mut(idx)?;
         if slot.vpn != vpn {

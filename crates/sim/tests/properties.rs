@@ -1,9 +1,90 @@
 //! Property-based tests of the cache simulator's core invariants.
 
+use ccache_sim::cache::{AccessOutcome, Eviction};
 use ccache_sim::prelude::*;
 use ccache_sim::replacement::ReplacementState;
 use ccache_sim::{CacheConfig, ColumnCache, Tint};
 use proptest::prelude::*;
+
+/// A straight transcription of the pre-rewrite array-of-structs cache: one struct per
+/// line, linear `position` probe, validity gathered per miss. The struct-of-arrays
+/// [`ColumnCache`] must be observationally identical to this model — same outcome for
+/// every access, same eviction (address, dirtiness, column), same counters — for every
+/// geometry, mask and policy. The model shares only [`ReplacementState`] (seeded
+/// identically) with the real cache.
+struct ReferenceCache {
+    config: CacheConfig,
+    lines: Vec<RefLine>,
+    repl: Vec<ReplacementState>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct RefLine {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+impl ReferenceCache {
+    fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let cols = config.columns();
+        ReferenceCache {
+            config,
+            lines: vec![RefLine::default(); sets * cols],
+            repl: (0..sets)
+                .map(|i| ReplacementState::new(config.replacement(), cols, i as u64 + 1))
+                .collect(),
+        }
+    }
+
+    fn access(&mut self, addr: u64, is_write: bool, mask: ColumnMask) -> AccessOutcome {
+        let cols = self.config.columns();
+        let (tag, set, _) = self.config.split_addr(addr);
+        let base = set * cols;
+        let row = &mut self.lines[base..base + cols];
+        if let Some(way) = row.iter().position(|l| l.valid && l.tag == tag) {
+            self.repl[set].on_access(way);
+            if is_write {
+                row[way].dirty = true;
+            }
+            return AccessOutcome::Hit { column: way };
+        }
+        let valid_bits = row
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (w, l)| acc | (u64::from(l.valid) << w));
+        let Some(way) = self.repl[set].victim(mask.truncate(cols), valid_bits) else {
+            return AccessOutcome::Bypass;
+        };
+        let evicted = row[way].valid.then(|| Eviction {
+            line_addr: self.config.line_addr(row[way].tag, set),
+            dirty: row[way].dirty,
+            column: way,
+        });
+        row[way] = RefLine {
+            tag,
+            valid: true,
+            dirty: is_write,
+        };
+        self.repl[set].on_fill(way);
+        AccessOutcome::Miss {
+            column: way,
+            evicted,
+        }
+    }
+}
+
+/// Valid geometries to sweep: (capacity, columns, line size). Each yields a
+/// power-of-two set count, from 1-way × 64 sets up to 8-way × 8 sets.
+const GEOMETRIES: [(u64, usize, u64); 6] = [
+    (1024, 1, 16),
+    (1024, 2, 32),
+    (2048, 4, 32),
+    (4096, 8, 64),
+    (2048, 8, 16),
+    (4096, 4, 16),
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -41,7 +122,11 @@ proptest! {
             st.on_access(way);
         }
         let mask = ColumnMask::from_columns(allowed.iter().copied());
-        match st.victim(mask, &valid_bits) {
+        let valid_bits = valid_bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (w, &v)| acc | (u64::from(v) << w));
+        match st.victim(mask, valid_bits) {
             Some(v) => prop_assert!(mask.contains(v), "policy {policy} picked {v} outside {mask}"),
             None => prop_assert!(mask.is_empty()),
         }
@@ -81,6 +166,64 @@ proptest! {
             sys.access(base, false);
             prop_assert_eq!(sys.page_table().entry_for_addr(base).tint, Tint(tint + 1));
         }
+    }
+
+    /// The struct-of-arrays cache is observationally identical to the pre-rewrite
+    /// array-of-structs model: every access produces the same outcome (hit/miss/bypass,
+    /// column, and eviction address/dirtiness), and the aggregate counters agree — for
+    /// every geometry, replacement policy, and per-access mask (including empty masks,
+    /// which force bypasses).
+    #[test]
+    fn soa_cache_matches_array_of_structs_reference_model(
+        geometry_idx in 0usize..GEOMETRIES.len(),
+        policy_idx in 0usize..5,
+        ops in prop::collection::vec(
+            (0u64..0x40_000, any::<bool>(), prop::collection::vec(0usize..8, 0..4)),
+            1..400,
+        )
+    ) {
+        let (capacity, columns, line) = GEOMETRIES[geometry_idx];
+        let config = CacheConfig::builder()
+            .capacity_bytes(capacity)
+            .columns(columns)
+            .line_size(line)
+            .replacement(ReplacementPolicy::ALL[policy_idx])
+            .build()
+            .expect("geometry table entries are valid");
+        let mut cache = ColumnCache::new(config);
+        let mut model = ReferenceCache::new(config);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut bypasses = 0u64;
+        let mut evictions = 0u64;
+        let mut writebacks = 0u64;
+        for (addr, is_write, cols) in ops {
+            // Bits at or above `columns` are deliberately kept: both paths must truncate
+            // out-of-range mask bits identically.
+            let mask = ColumnMask::from_columns(cols.iter().copied());
+            let got = cache.access(addr, is_write, mask);
+            let want = model.access(addr, is_write, mask);
+            prop_assert_eq!(got, want, "outcome diverged at addr {:#x}", addr);
+            match got {
+                AccessOutcome::Hit { .. } => hits += 1,
+                AccessOutcome::Miss { evicted, .. } => {
+                    misses += 1;
+                    if let Some(ev) = evicted {
+                        evictions += 1;
+                        if ev.dirty {
+                            writebacks += 1;
+                        }
+                    }
+                }
+                AccessOutcome::Bypass => bypasses += 1,
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits, hits);
+        prop_assert_eq!(s.misses, misses);
+        prop_assert_eq!(s.bypasses, bypasses);
+        prop_assert_eq!(s.evictions, evictions);
+        prop_assert_eq!(s.writebacks, writebacks);
     }
 
     /// Statistics identities: hits + misses + bypasses == accesses, and column hit/fill

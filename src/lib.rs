@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bench;
 pub mod session;
 
 pub use ccache_core as core;
@@ -71,10 +72,12 @@ pub use ccache_sim as sim;
 pub use ccache_trace as trace;
 pub use ccache_workloads as workloads;
 
+pub use bench::{BenchEnvironment, BenchMode, BenchRatios, BenchReport, BenchRequest};
 pub use session::{Replayed, Session, SessionBuilder, SessionError};
 
 /// The most commonly used items from every crate in the workspace.
 pub mod prelude {
+    pub use crate::bench::{BenchReport, BenchRequest};
     pub use crate::session::{Replayed, Session, SessionBuilder, SessionError};
     pub use ccache_core::prelude::*;
     pub use ccache_layout::prelude::*;

@@ -14,6 +14,8 @@
 //! ccache trace info FILE
 //! ccache trace convert IN OUT
 //! ccache tune [--workload NAME | --trace FILE] [--strategy S] [--budget N] [--seed N]
+//! ccache serve [--port N] [--workers N] [--queue N]
+//! ccache serve --connect ADDR --request JSON
 //! ```
 //!
 //! The figure binaries in `ccache-bench` are thin shims over [`run`], so
@@ -54,6 +56,7 @@ commands:
   trace     record, inspect and convert trace files
   tune      autotune cache geometry and column assignments for a workload
   bench     measure replay throughput; gate against a committed baseline
+  serve     run the concurrent cache-advisory service (NDJSON over TCP)
   help      show this help
 
 Run 'ccache <command> --help' for command-specific options.
@@ -81,6 +84,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<(), CliError> {
         "trace" => commands::trace::run(args),
         "tune" => commands::tune::run(args),
         "bench" => commands::bench::run(args),
+        "serve" => commands::serve::run(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

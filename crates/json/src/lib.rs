@@ -85,7 +85,10 @@ impl Json {
             }
             Json::Float(v) => {
                 if v.is_finite() {
-                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                    if v.fract() == 0.0 {
+                        // Integral floats keep a ".0" so they reparse as Float, not as
+                        // UInt/Int — [`Json::parse`] must be an identity on serializer
+                        // output at every magnitude (1e15 and beyond included).
                         let _ = write!(out, "{v:.1}");
                     } else {
                         let _ = write!(out, "{v}");
@@ -204,7 +207,14 @@ macro_rules! impl_to_json_int {
     ($($t:ty),*) => {
         $(impl ToJson for $t {
             fn to_json(&self) -> Json {
-                Json::Int(*self as i64)
+                // Non-negative values normalize to UInt — the variant [`Json::parse`]
+                // produces for unsigned number text — so serialize → parse is an
+                // identity on `to_json` output. Int is the negative-only variant.
+                if *self >= 0 {
+                    Json::UInt(*self as u64)
+                } else {
+                    Json::Int(*self as i64)
+                }
             }
         })*
     };

@@ -1,0 +1,115 @@
+//! Bounded reading of newline-delimited frames.
+//!
+//! One frame is one `\n`-terminated line. The reader enforces the configured frame
+//! limit *while* reading, so a client sending an endless line can never make the
+//! server buffer unbounded input — the oversized verdict arrives as soon as the limit
+//! is crossed, without draining the rest of the line.
+
+use std::io::{self, BufRead};
+
+/// The outcome of one read attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// The peer closed the connection with no pending bytes.
+    Eof,
+    /// The line exceeded the frame limit; the caller should reply `oversized_frame`
+    /// and close (the remainder of the line is deliberately not consumed).
+    Oversized,
+    /// One frame, with the trailing `\n` (and `\r`, if any) stripped. May be empty —
+    /// blank lines are valid keep-alives the service ignores.
+    Line(Vec<u8>),
+}
+
+/// Reads one frame from `reader`, buffering at most `max_bytes` of it.
+///
+/// A final unterminated line before EOF is returned as a normal frame; the following
+/// call reports [`Frame::Eof`].
+///
+/// # Errors
+///
+/// Propagates transport errors, including read-timeout expiry (`WouldBlock` /
+/// `TimedOut`), which the connection layer treats as a clean idle close.
+pub fn read_frame<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Result<Frame> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(line)
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => {
+                if line.len() + at > max_bytes {
+                    return Ok(Frame::Oversized);
+                }
+                line.extend_from_slice(&buf[..at]);
+                reader.consume(at + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Frame::Line(line));
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > max_bytes {
+                    return Ok(Frame::Oversized);
+                }
+                line.extend_from_slice(buf);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn frames(input: &[u8], max: usize) -> Vec<Frame> {
+        let mut reader = BufReader::with_capacity(4, input);
+        let mut out = Vec::new();
+        loop {
+            let frame = read_frame(&mut reader, max).unwrap();
+            let done = matches!(frame, Frame::Eof | Frame::Oversized);
+            out.push(frame);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_reports_eof() {
+        assert_eq!(
+            frames(b"a\nbb\r\n\nccc", 100),
+            vec![
+                Frame::Line(b"a".to_vec()),
+                Frame::Line(b"bb".to_vec()),
+                Frame::Line(Vec::new()),
+                Frame::Line(b"ccc".to_vec()), // unterminated trailer still counts
+                Frame::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_lines_stop_early_even_unterminated() {
+        assert_eq!(frames(b"0123456789", 4), vec![Frame::Oversized]);
+        assert_eq!(
+            frames(b"ok\n0123456789\n", 4),
+            vec![Frame::Line(b"ok".to_vec()), Frame::Oversized]
+        );
+    }
+
+    #[test]
+    fn limit_is_inclusive_of_exact_fit() {
+        assert_eq!(
+            frames(b"1234\n", 4),
+            vec![Frame::Line(b"1234".to_vec()), Frame::Eof]
+        );
+    }
+}

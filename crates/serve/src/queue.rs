@@ -1,0 +1,124 @@
+//! The bounded job queue between connection threads and the worker pool.
+//!
+//! Producers never block: a full queue refuses the submission so the connection can
+//! shed load with a structured `overloaded` error instead of stalling. Consumers block
+//! until an item arrives; after [`JobQueue::close`] the pending items still drain, so
+//! graceful shutdown finishes every job that was accepted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the caller should shed load.
+    Full,
+    /// The queue is closed; the server is shutting down.
+    Closed,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue holding at most `capacity` pending items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Refuses with [`SubmitError::Full`] at capacity and [`SubmitError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn submit(&self, item: T) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(SubmitError::Closed);
+        }
+        if st.items.len() >= st.capacity {
+            return Err(SubmitError::Full);
+        }
+        st.items.push_back(item);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed *and* drained — the worker-pool exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st).unwrap();
+        }
+    }
+
+    /// Closes the queue: new submissions are refused, pending items still drain.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Number of pending (accepted, not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_beyond_capacity_and_drains_after_close() {
+        let q = JobQueue::new(2);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        assert_eq!(q.submit(3), Err(SubmitError::Full));
+        q.close();
+        assert_eq!(q.submit(4), Err(SubmitError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_submit() {
+        let q = std::sync::Arc::new(JobQueue::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(7u64).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end command round trips over a loopback server: inline `run` specs, trace
+//! upload + replay-by-name, and the `subscribe` observer stream.
+
+use ccache_json::{Json, ToJson};
+use ccache_serve::{spawn_test_server, Client};
+use std::fmt::Write as _;
+
+#[test]
+fn run_executes_inline_specs() {
+    let mut server = spawn_test_server(|_| {}).expect("bind test server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let spec = Json::parse(
+        r#"{"name": "inline", "replay": [{"workloads": ["fir"],
+            "policies": ["shared", "heuristic"], "label": "policy"}]}"#,
+    )
+    .unwrap();
+    let reply = client
+        .request(&Json::obj([
+            ("cmd", "run".to_json()),
+            ("id", 1u64.to_json()),
+            ("spec", spec),
+        ]))
+        .expect("run reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let result = reply.get("result").unwrap();
+    assert_eq!(
+        result.get("artefact").and_then(Json::as_str),
+        Some("ccache-exp")
+    );
+    assert_eq!(result.get("version").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        result
+            .get("results")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(2)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn uploaded_traces_replay_by_name_everywhere() {
+    let mut server = spawn_test_server(|_| {}).expect("bind test server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A small strided read/write pattern in the text trace format.
+    let mut text = String::from("# synthetic upload\n");
+    for i in 0..256u64 {
+        writeln!(text, "R {:#x} 4", 0x1000 + (i % 64) * 16).unwrap();
+        writeln!(text, "W {:#x} 4", 0x8000 + i * 4).unwrap();
+    }
+    let upload = client
+        .request(&Json::obj([
+            ("cmd", "upload".to_json()),
+            ("name", "synthetic".to_json()),
+            ("text", text.to_json()),
+        ]))
+        .expect("upload reply");
+    assert_eq!(upload.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        upload
+            .get("result")
+            .and_then(|r| r.get("events"))
+            .and_then(Json::as_u64),
+        Some(512)
+    );
+
+    // The name now works as a workload selector in the grid commands...
+    let replay = client
+        .request(&Json::obj([
+            ("cmd", "replay".to_json()),
+            ("trace", "synthetic".to_json()),
+        ]))
+        .expect("replay reply");
+    assert_eq!(replay.get("ok").and_then(Json::as_bool), Some(true));
+
+    // ... in inline run specs ...
+    let spec =
+        Json::parse(r#"{"name": "uploaded", "replay": [{"workloads": [{"trace": "synthetic"}]}]}"#)
+            .unwrap();
+    let run = client
+        .request(&Json::obj([("cmd", "run".to_json()), ("spec", spec)]))
+        .expect("run reply");
+    assert_eq!(run.get("ok").and_then(Json::as_bool), Some(true));
+
+    // ... and in subscribe streams.
+    let (events, done) = client
+        .request_streaming(&Json::obj([
+            ("cmd", "subscribe".to_json()),
+            ("trace", "synthetic".to_json()),
+            ("window", 128u64.to_json()),
+        ]))
+        .expect("subscribe");
+    assert_eq!(done.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(!events.is_empty(), "subscribe must stream window events");
+
+    // Bad names are refused before touching the filesystem.
+    let bad = client
+        .request(&Json::obj([
+            ("cmd", "upload".to_json()),
+            ("name", "../escape".to_json()),
+            ("text", "R 0x0 4\n".to_json()),
+        ]))
+        .expect("bad-name reply");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_streams_windows_then_the_final_statistics() {
+    let mut server = spawn_test_server(|_| {}).expect("bind test server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (events, done) = client
+        .request_streaming(&Json::obj([
+            ("cmd", "subscribe".to_json()),
+            ("id", "sub-1".to_json()),
+            ("workload", "fir".to_json()),
+            ("window", 256u64.to_json()),
+        ]))
+        .expect("subscribe");
+    assert_eq!(done.get("ok").and_then(Json::as_bool), Some(true));
+    let result = done.get("result").unwrap();
+    let windows = result.get("windows").and_then(Json::as_u64).unwrap();
+    let window_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("window"))
+        .collect();
+    assert_eq!(window_events.len() as u64, windows);
+    assert!(windows > 0);
+    // Every event frame carries the request id and a well-formed sample.
+    let mut references = 0;
+    for event in &window_events {
+        assert_eq!(event.get("id").and_then(Json::as_str), Some("sub-1"));
+        let sample = event.get("sample").expect("window sample");
+        references += sample.get("references").and_then(Json::as_u64).unwrap();
+    }
+    // The streamed windows tile the replay exactly.
+    assert_eq!(
+        Some(references),
+        result
+            .get("result")
+            .and_then(|r| r.get("references"))
+            .and_then(Json::as_u64)
+    );
+    server.shutdown();
+}

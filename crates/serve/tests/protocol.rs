@@ -1,0 +1,196 @@
+//! Protocol robustness: randomized malformed, truncated and oversized frames against a
+//! live loopback server. The invariant under test: every input yields a structured JSON
+//! error or a clean close — never a panic, never a dropped connection on a recoverable
+//! error — and the connection keeps serving valid requests afterwards.
+
+use ccache_json::{Json, ToJson};
+use ccache_serve::{spawn_test_server, Client};
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const MAX_FRAME: usize = 512;
+
+/// One shared server for every property case: a panic anywhere in the server would
+/// poison it and fail every subsequent case, so sharing doubles as a cross-case
+/// no-panic detector. Leaked deliberately — process exit is its shutdown.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = spawn_test_server(|config| {
+            config.max_frame_bytes = MAX_FRAME;
+        })
+        .expect("bind test server");
+        let addr = server.addr();
+        Box::leak(Box::new(server));
+        addr
+    })
+}
+
+fn connect() -> Client {
+    let client = Client::connect(server_addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    client
+}
+
+fn status_request() -> Json {
+    Json::obj([("cmd", "status".to_json()), ("id", "probe".to_json())])
+}
+
+/// Asserts a reply frame is structurally sound: `ok` is a bool; refusals carry a
+/// known `error.code` and a message.
+fn assert_well_formed(frame: &Json) {
+    let ok = frame
+        .get("ok")
+        .and_then(Json::as_bool)
+        .unwrap_or_else(|| panic!("reply without a boolean 'ok': {}", frame.compact()));
+    if !ok {
+        let code = frame
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("refusal without error.code: {}", frame.compact()));
+        assert!(
+            [
+                "bad_frame",
+                "oversized_frame",
+                "bad_request",
+                "overloaded",
+                "shutting_down",
+                "job_failed",
+                "internal",
+            ]
+            .contains(&code),
+            "unknown error code '{code}'"
+        );
+        assert!(
+            frame
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .is_some(),
+            "refusal without error.message: {}",
+            frame.compact()
+        );
+    }
+}
+
+/// Drives garbage into a connection, then proves the connection (or at worst the
+/// server) is still healthy by completing a status round trip.
+fn garbage_then_probe(garbage: &[u8]) {
+    let mut client = connect();
+    client.send_raw(garbage).expect("write garbage");
+    client.send(&status_request()).expect("write probe");
+    // Read replies until the probe's answer. Every frame on the way must be a
+    // well-formed structured error. A clean close is also legal (oversized garbage)
+    // — in that case the probe is re-run on a fresh connection, proving the server
+    // itself survived.
+    let mut saw_probe_reply = false;
+    while let Some(frame) = client.recv().expect("read reply") {
+        assert_well_formed(&frame);
+        if frame.get("id").and_then(Json::as_str) == Some("probe") {
+            assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(true));
+            saw_probe_reply = true;
+            break;
+        }
+    }
+    if !saw_probe_reply {
+        let mut fresh = connect();
+        let reply = fresh.request(&status_request()).expect("probe after close");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_bytes_never_panic_the_server(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut bytes = bytes;
+        bytes.push(b'\n');
+        garbage_then_probe(&bytes);
+    }
+
+    #[test]
+    fn truncated_requests_get_structured_errors(
+        cut in 1usize..64,
+        tail in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        // A valid request, truncated mid-document and optionally continued with noise.
+        let full = r#"{"cmd":"replay","id":7,"workload":"fir","policy":"shared"}"#;
+        let mut bytes: Vec<u8> = full.as_bytes()[..cut.min(full.len() - 1)].to_vec();
+        bytes.extend_from_slice(&tail);
+        bytes.push(b'\n');
+        garbage_then_probe(&bytes);
+    }
+
+    #[test]
+    fn oversized_frames_get_an_error_then_a_clean_close(
+        extra in 1usize..4096,
+        byte in any::<u8>(),
+    ) {
+        let mut client = connect();
+        // One line strictly over the limit, of arbitrary (even non-UTF-8) content.
+        let mut bytes = vec![byte.max(1); MAX_FRAME + extra];
+        bytes.push(b'\n');
+        client.send_raw(&bytes).expect("write oversized");
+        let reply = client
+            .recv()
+            .expect("read reply")
+            .expect("an oversized frame must be answered before closing");
+        assert_well_formed(&reply);
+        prop_assert_eq!(
+            reply.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("oversized_frame")
+        );
+        // ... and then the connection closes cleanly (EOF, not a reset mid-frame).
+        prop_assert!(client.recv().expect("clean close").is_none());
+    }
+
+    #[test]
+    fn valid_json_non_requests_keep_the_connection_open(
+        n in any::<u64>(),
+        flip in any::<bool>(),
+    ) {
+        // Parses fine, but is not a valid request: a bare scalar or an object with no
+        // 'cmd'. Must produce bad_frame/bad_request and leave the connection usable.
+        let mut client = connect();
+        let frame = if flip {
+            n.to_json()
+        } else {
+            Json::obj([("id", n.to_json()), ("payload", "x".to_json())])
+        };
+        client.send(&frame).expect("write");
+        let reply = client.recv().expect("read").expect("reply expected");
+        assert_well_formed(&reply);
+        prop_assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        let probe = client.request(&status_request()).expect("probe on same conn");
+        prop_assert_eq!(probe.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+#[test]
+fn blank_lines_are_ignored_keepalives() {
+    let mut client = connect();
+    client.send_raw(b"\n\r\n\n").expect("write blanks");
+    let reply = client.request(&status_request()).expect("probe");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn unknown_commands_name_the_valid_ones() {
+    let mut client = connect();
+    let reply = client
+        .request(&Json::obj([("cmd", "frobnicate".to_json())]))
+        .expect("reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    let message = reply
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(message.contains("replay") && message.contains("status"));
+}

@@ -23,6 +23,7 @@
 //! | [`core`] (`ccache-core`) | placement, experiment runners: Figure 4 partition sweep, dynamic column-cache run, Figure 5 multitasking CPI sweep |
 //! | [`opt`] (`ccache-opt`) | autotuning: joint search over cache geometries and column assignments with replay-driven fitness |
 //! | [`exp`] (`ccache-exp`) | declarative experiment layer: JSON specs, deduplicating planner, parallel executor, unified artefacts |
+//! | `ccache-serve` | the `ccache serve` service: NDJSON-over-TCP sessions, a worker pool, and a content-addressed result store keyed by [`Session::spec_key`] |
 //!
 //! # Quick start: the `Session` facade
 //!

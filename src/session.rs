@@ -28,6 +28,7 @@ use ccache_core::runner::CacheMapping;
 use ccache_core::{CoreError, ReplayEngine, RunResult};
 use ccache_exp::exec::{ExecOptions, ObserveOptions};
 use ccache_exp::{Artefact, ExpError, ExperimentSpec, GeometrySpec, Plan};
+use ccache_json::{Json, ToJson};
 use ccache_opt::{OptError, TuneOutcome, TuneRequest};
 use ccache_sim::backend::MemoryBackend;
 use ccache_sim::{BackendRegistry, SimError, SystemConfig};
@@ -370,6 +371,44 @@ impl Session {
         Ok(Artefact::new(spec.clone(), self.quick, plan, outcomes))
     }
 
+    /// The canonical memo key for running `spec` on this session.
+    ///
+    /// The key is a compact JSON document combining the session knobs that change
+    /// artefact bytes (`quick` scale and observation window — the fields of
+    /// [`Session::exec_options`]) with the spec's canonical JSON form and the
+    /// planner's deduplicated per-job canonical keys ([`JobUnit::key`](
+    /// ccache_exp::JobUnit::key)). Whenever two `(session, spec)` pairs agree on
+    /// `spec_key`, [`Session::run_spec`] produces byte-identical artefact text for
+    /// both — the contract the `ccache-serve` content-addressed result store is
+    /// built on.
+    pub fn spec_key(&self, spec: &ExperimentSpec) -> String {
+        let plan = ccache_exp::plan(spec);
+        Json::obj([
+            ("quick", self.quick.to_json()),
+            ("observe", self.observe.to_json()),
+            ("spec", spec.to_json()),
+            (
+                "jobs",
+                Json::arr(plan.jobs.iter().map(|job| Json::Str(job.key()))),
+            ),
+        ])
+        .compact()
+    }
+
+    /// Runs `spec` and returns `(spec_key, artefact_bytes)`: the canonical memo key
+    /// ([`Session::spec_key`]) and the pretty-rendered artefact JSON — the exact
+    /// bytes `ccache serve` memoizes and replies with. The serve stress tests use
+    /// this as their single-threaded oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and execution failures.
+    pub fn run_spec_bytes(&self, spec: &ExperimentSpec) -> Result<(String, String), SessionError> {
+        let key = self.spec_key(spec);
+        let artefact = self.run_spec(spec)?;
+        Ok((key, artefact.to_json().pretty()))
+    }
+
     /// As [`Session::run_spec`], parsing the spec from JSON text first.
     ///
     /// # Errors
@@ -533,6 +572,33 @@ mod tests {
         // the session's geometry, not the request's default template, drove the search
         assert_eq!(outcome.best_config.capacity_bytes, 4096);
         assert_eq!(outcome.best_config.columns, 8);
+    }
+
+    #[test]
+    fn spec_keys_address_byte_identical_artefacts() {
+        let spec = ExperimentSpec::parse_str(
+            r#"{"name": "k", "replay": [{"workloads": ["fir"], "policies": ["shared"]}]}"#,
+        )
+        .unwrap();
+        let (k1, b1) = Session::builder()
+            .quick(true)
+            .build()
+            .unwrap()
+            .run_spec_bytes(&spec)
+            .unwrap();
+        let (k2, b2) = Session::builder()
+            .quick(true)
+            .build()
+            .unwrap()
+            .run_spec_bytes(&spec)
+            .unwrap();
+        assert_eq!(k1, k2, "equal sessions must agree on the memo key");
+        assert_eq!(b1, b2, "equal keys must address byte-identical artefacts");
+        // Knobs that change artefact bytes must change the key too.
+        let observing = Session::builder().quick(true).observe(256).build().unwrap();
+        assert_ne!(observing.spec_key(&spec), k1);
+        let full = Session::builder().quick(false).build().unwrap();
+        assert_ne!(full.spec_key(&spec), k1);
     }
 
     #[test]

@@ -32,7 +32,9 @@ options:
   --observe window=N
                     attach a streaming observer: every replay and dynamic job
                     gains a windowed miss-rate/CPI 'time_series' block (one
-                    sample per N references, plus phase/remap events)
+                    sample per N references, plus phase/remap events); replays
+                    whose final window is partial (trace length not divisible
+                    by N) are counted and reported on stderr
   --format FMT      json | csv | markdown (default: json)
   --out FILE        write the artefact in FMT to FILE instead of stdout
   --help, -h        show this help
@@ -111,11 +113,22 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
         report_args.scale
     );
     let mut builder = Session::builder().quick(report_args.quick());
+    // A private registry so the coalesced-window report below reflects this run only.
+    let telemetry = column_caching::telemetry::Registry::new();
     if let Some(window) = observe {
-        builder = builder.observe(window);
+        builder = builder.observe(window).telemetry(telemetry.clone());
     }
     // run_plan reuses the plan computed for the narration above — no second expansion.
     let artefact = builder.build()?.run_plan(&spec, plan)?;
+    if observe.is_some() {
+        let coalesced = telemetry.counter_value("engine.observe.coalesced_windows");
+        if coalesced > 0 {
+            eprintln!(
+                "observer: {coalesced} replay(s) coalesced a final partial window \
+                 (trace length not divisible by the window)"
+            );
+        }
+    }
     report_args.emit(&artefact)
 }
 

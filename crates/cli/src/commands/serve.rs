@@ -35,6 +35,9 @@ server options:
                          closed cleanly (default: none)
   --max-frame-bytes N    largest accepted request line (default: 1048576)
   --quick, -q            reduced working sets for every job (smoke/CI scale)
+  --log FORMAT           structured request log on stderr; the only FORMAT is
+                         'ndjson' — one JSON record per request with tenant,
+                         verb, outcome and duration bucket
 
 client options:
   --connect ADDR         act as a client of the server at ADDR (host:port)
@@ -91,6 +94,14 @@ fn run_server(mut p: ArgParser) -> Result<(), CliError> {
         config.max_frame_bytes = bytes;
     }
     config.quick = p.flag(&["--quick", "-q"]);
+    if let Some(format) = p.value("--log")? {
+        if format != "ndjson" {
+            return Err(p.usage(format!(
+                "unknown '--log' format '{format}' (the only format is 'ndjson')"
+            )));
+        }
+        config.log_ndjson = true;
+    }
     p.finish()?;
 
     let handle = serve(config)?;

@@ -21,6 +21,7 @@ use crate::runner::{CacheMapping, RunResult};
 use ccache_sim::backend::{BackendKind, MemoryBackend};
 use ccache_sim::registry::BackendRegistry;
 use ccache_sim::SystemConfig;
+use ccache_telemetry::{Counter, Registry, Span};
 use ccache_trace::Trace;
 
 /// References handed to the backend per [`MemoryBackend::run_batch`] call.
@@ -63,6 +64,66 @@ pub struct ReplayEngine {
     snapshot: Option<Box<dyn MemoryBackend>>,
     batch: usize,
     buffer: Vec<(u64, bool)>,
+    telemetry: EngineTelemetry,
+}
+
+/// Pre-resolved telemetry handles, bound once per engine so the replay loops never
+/// touch the registry. All accounting happens *after* a replay finishes (the counters
+/// are fed from the backend's own statistics), so the hot loop is untouched and results
+/// stay byte-identical with or without a registry attached.
+#[derive(Clone)]
+struct EngineTelemetry {
+    replays: Counter,
+    batches: Counter,
+    references: Counter,
+    tlb_hits: Counter,
+    tlb_misses: Counter,
+    memo_translation_hits: Counter,
+    memo_tint_hits: Counter,
+    coalesced_windows: Counter,
+    checkpoint_segments: Counter,
+    checkpoint_warmup: Span,
+}
+
+impl EngineTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        EngineTelemetry {
+            replays: registry.counter("engine.replays"),
+            batches: registry.counter("engine.batches"),
+            references: registry.counter("engine.references"),
+            tlb_hits: registry.counter("engine.tlb.hits"),
+            tlb_misses: registry.counter("engine.tlb.misses"),
+            memo_translation_hits: registry.counter("engine.memo.translation_hits"),
+            memo_tint_hits: registry.counter("engine.memo.tint_hits"),
+            coalesced_windows: registry.counter("engine.observe.coalesced_windows"),
+            checkpoint_segments: registry.counter("engine.checkpoint.segments"),
+            checkpoint_warmup: registry.span("engine.checkpoint.warmup"),
+        }
+    }
+
+    /// Post-replay accounting: fold the backend's per-replay statistics (absolute since
+    /// the `reset_stats` at replay start) into the counters.
+    fn record_replay(&self, backend: &dyn MemoryBackend, batches: u64) {
+        let stats = backend.stats();
+        let memo = backend.memo_stats();
+        self.replays.incr();
+        self.batches.add(batches);
+        self.references.add(stats.references);
+        self.tlb_hits.add(stats.tlb_hits);
+        self.tlb_misses.add(stats.tlb_misses);
+        self.memo_translation_hits.add(memo.translation_hits);
+        self.memo_tint_hits.add(memo.tint_hits);
+    }
+
+    /// Counts the coalesced tail of an observed replay: when `window` does not divide
+    /// the reference count, the remainder is emitted as one final *partial* window
+    /// rather than silently truncated — this counter is the visible record of that.
+    fn record_observed_tail(&self, backend: &dyn MemoryBackend, window: u64) {
+        let references = backend.stats().references;
+        if references > 0 && window > 0 && !references.is_multiple_of(window) {
+            self.coalesced_windows.incr();
+        }
+    }
 }
 
 impl ReplayEngine {
@@ -100,7 +161,17 @@ impl ReplayEngine {
             snapshot: None,
             batch: DEFAULT_BATCH,
             buffer: Vec::with_capacity(DEFAULT_BATCH),
+            telemetry: EngineTelemetry::bind(&Registry::global()),
         }
+    }
+
+    /// Rebinds the engine's telemetry to `registry` (the process-wide
+    /// [`Registry::global`] is bound at construction). Sessions and servers that own a
+    /// private registry route their engines here; results are unaffected — telemetry
+    /// accounting happens outside the replay loops, from statistics the backend
+    /// maintains anyway.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = EngineTelemetry::bind(registry);
     }
 
     /// Read-only view of the backend.
@@ -211,12 +282,15 @@ impl ReplayEngine {
     pub fn replay(&mut self, name: &str, trace: &Trace) -> RunResult {
         let control_before = self.backend.control_cycles();
         self.backend.reset_stats();
+        let mut batches = 0u64;
         for chunk in trace.as_slice().chunks(self.batch) {
             self.buffer.clear();
             self.buffer
                 .extend(chunk.iter().map(|ev| (ev.addr, ev.is_write())));
             self.backend.run_batch(&self.buffer);
+            batches += 1;
         }
+        self.telemetry.record_replay(self.backend.as_ref(), batches);
         crate::runner::collect_result(name, self.backend.as_ref(), control_before)
     }
 
@@ -241,13 +315,16 @@ impl ReplayEngine {
     ) -> std::io::Result<RunResult> {
         let control_before = self.backend.control_cycles();
         self.backend.reset_stats();
+        let mut batches = 0u64;
         loop {
             self.buffer.clear();
             if reader.read_chunk(&mut self.buffer, self.batch)? == 0 {
                 break;
             }
             self.backend.run_batch(&self.buffer);
+            batches += 1;
         }
+        self.telemetry.record_replay(self.backend.as_ref(), batches);
         Ok(crate::runner::collect_result(
             name,
             self.backend.as_ref(),
@@ -276,6 +353,7 @@ impl ReplayEngine {
         let mut tracker = WindowTracker::new(window);
         let events = trace.as_slice();
         let mut pos = 0usize;
+        let mut batches = 0u64;
         while pos < events.len() {
             let n = (tracker.until_boundary(pos as u64) as usize)
                 .min(self.batch)
@@ -288,8 +366,12 @@ impl ReplayEngine {
             );
             self.backend.run_batch(&self.buffer);
             pos += n;
+            batches += 1;
             tracker.observe(self.backend.as_ref(), observer, pos == events.len());
         }
+        self.telemetry.record_replay(self.backend.as_ref(), batches);
+        self.telemetry
+            .record_observed_tail(self.backend.as_ref(), window);
         crate::runner::collect_result(name, self.backend.as_ref(), control_before)
     }
 
@@ -311,6 +393,7 @@ impl ReplayEngine {
         self.backend.reset_stats();
         let mut tracker = WindowTracker::new(window);
         let mut replayed = 0u64;
+        let mut batches = 0u64;
         loop {
             let cap = (tracker.until_boundary(replayed) as usize)
                 .min(self.batch)
@@ -321,10 +404,14 @@ impl ReplayEngine {
             }
             self.backend.run_batch(&self.buffer);
             replayed += self.buffer.len() as u64;
+            batches += 1;
             tracker.observe(self.backend.as_ref(), observer, false);
         }
         // Flush the final partial window now that the stream length is known.
         tracker.observe(self.backend.as_ref(), observer, true);
+        self.telemetry.record_replay(self.backend.as_ref(), batches);
+        self.telemetry
+            .record_observed_tail(self.backend.as_ref(), window);
         Ok(crate::runner::collect_result(
             name,
             self.backend.as_ref(),
@@ -348,6 +435,7 @@ impl ReplayEngine {
         let bounds = crate::checkpoint::segment_bounds(events.len(), segments);
         let control_before = self.backend.control_cycles();
         self.backend.reset_stats();
+        let warmup = self.telemetry.checkpoint_warmup.start();
         let mut checkpoints = Vec::with_capacity(segments);
         for s in 0..segments {
             checkpoints.push(self.backend.boxed_clone());
@@ -358,6 +446,8 @@ impl ReplayEngine {
                 self.backend.run_batch(&self.buffer);
             }
         }
+        drop(warmup);
+        self.telemetry.checkpoint_segments.add(segments as u64);
         ReplayCheckpoints::new(
             checkpoints,
             bounds,
@@ -388,6 +478,7 @@ impl Clone for ReplayEngine {
             snapshot: self.snapshot.as_ref().map(|s| s.boxed_clone()),
             batch: self.batch,
             buffer: Vec::with_capacity(self.batch),
+            telemetry: self.telemetry.clone(),
         }
     }
 }

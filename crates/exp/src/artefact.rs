@@ -291,7 +291,7 @@ mod tests {
     fn artefacts_serialize_deterministically() {
         let opts = ExecOptions {
             quick: true,
-            observe: None,
+            ..ExecOptions::default()
         };
         let a = run_spec(&tiny_spec(), &opts).unwrap();
         let b = run_spec(&tiny_spec(), &opts).unwrap();
@@ -313,7 +313,7 @@ mod tests {
     fn summary_rows_cover_every_result() {
         let opts = ExecOptions {
             quick: true,
-            observe: None,
+            ..ExecOptions::default()
         };
         let a = run_spec(&tiny_spec(), &opts).unwrap();
         let (header, rows) = a.summary_rows();

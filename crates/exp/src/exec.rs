@@ -25,9 +25,10 @@ use ccache_core::partition::{run_partition_point_on, PartitionPoint};
 use ccache_core::runner::{CacheMapping, RegionMapping, RunResult};
 use ccache_layout::weights::conflict_graph_from_trace;
 use ccache_layout::{assign_columns, LayoutOptions, WeightOptions};
-use ccache_opt::{tune, GeometrySearch, TuneOutcome, TuneRequest};
+use ccache_opt::{tune_observed, GeometrySearch, TuneOutcome, TuneRequest};
 use ccache_sim::backend::BackendKind;
 use ccache_sim::ColumnMask;
+use ccache_telemetry::{Counter, Registry, Span};
 use ccache_trace::{SymbolTable, Trace};
 use ccache_workloads::gzipsim::run_gzip_job;
 use ccache_workloads::multitask::Job;
@@ -35,7 +36,7 @@ use ccache_workloads::WorkloadRun;
 use std::collections::BTreeMap;
 
 /// Options applied at execution time (not part of the spec).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// Build workloads at the reduced quick scale.
     pub quick: bool,
@@ -43,12 +44,45 @@ pub struct ExecOptions {
     /// (`ccache run --observe window=N`). `None` runs the exact unobserved code paths,
     /// so artefacts stay byte-identical to pre-observer output.
     pub observe: Option<ObserveOptions>,
+    /// The telemetry registry the execution reports into (`exp.*` counters and spans,
+    /// plus the engine and tuner metrics of every job). `None` uses the process-wide
+    /// [`Registry::global`]. Telemetry never changes results or artefact bytes.
+    pub telemetry: Option<Registry>,
 }
 
 impl ExecOptions {
     /// The workload scale these options select.
     pub fn scale(&self) -> Scale {
         Scale::from_quick(self.quick)
+    }
+
+    /// The registry this execution reports into (the explicit one, else the global).
+    fn registry(&self) -> Registry {
+        self.telemetry.clone().unwrap_or_else(Registry::global)
+    }
+}
+
+/// Pre-resolved executor telemetry, shared read-only by the workers.
+struct ExpTelemetry {
+    /// The registry jobs bind their engines and tuners to.
+    registry: Registry,
+    /// One span per executed plan item (wall time under `timing`).
+    job: Span,
+    /// Engine-sharing groups built (one engine + snapshot each).
+    groups: Counter,
+    /// Replays served from a group's pristine snapshot instead of a fresh engine —
+    /// every group job after the first.
+    snapshot_reuses: Counter,
+}
+
+impl ExpTelemetry {
+    fn bind(registry: Registry) -> Self {
+        ExpTelemetry {
+            job: registry.span("exp.job"),
+            groups: registry.counter("exp.groups"),
+            snapshot_reuses: registry.counter("exp.snapshot.reuses"),
+            registry,
+        }
     }
 }
 
@@ -446,6 +480,7 @@ fn run_replay_group(
     plan: &Plan,
     ctx: &Context,
     opts: &ExecOptions,
+    tel: &ExpTelemetry,
 ) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
     let first = match &plan.jobs[indices[0]] {
         JobUnit::Replay(job) => job,
@@ -454,13 +489,19 @@ fn run_replay_group(
     let workload = ctx.workload(first)?;
     let config = first.geometry.system_config()?;
     let mut engine = ReplayEngine::new(first.backend, config)?;
+    engine.set_telemetry(&tel.registry);
     engine.snapshot();
+    tel.groups.incr();
     let mut out = Vec::with_capacity(indices.len());
-    for &idx in indices {
+    for (nth, &idx) in indices.iter().enumerate() {
         let job = match &plan.jobs[idx] {
             JobUnit::Replay(job) => job,
             JobUnit::Multitask(_) => unreachable!("engine groups hold replay jobs"),
         };
+        let _timed = tel.job.start();
+        if nth > 0 {
+            tel.snapshot_reuses.incr();
+        }
         engine.reset();
         let (mapping, layout) = build_mapping(&job.policy, workload, &job.geometry)?;
         engine.apply(&mapping)?;
@@ -483,7 +524,9 @@ fn run_single(
     plan: &Plan,
     ctx: &Context,
     opts: &ExecOptions,
+    tel: &ExpTelemetry,
 ) -> Result<Vec<(usize, JobOutcome)>, ExpError> {
+    let _timed = tel.job.start();
     let outcome = match &plan.jobs[idx] {
         JobUnit::Replay(job) => match &job.policy {
             PolicySpec::Shared => {
@@ -495,6 +538,7 @@ fn run_single(
                     }
                 };
                 let mut engine = ReplayEngine::new(job.backend, job.geometry.system_config()?)?;
+                engine.set_telemetry(&tel.registry);
                 let mut reader = ccache_trace::binfmt::TraceReader::open(path)?;
                 let (result, series) = match opts.observe {
                     Some(o) => {
@@ -569,7 +613,13 @@ fn run_single(
                     forced: Vec::new(),
                     baseline: BackendKind::SetAssociative,
                 };
-                let outcome = tune(&workload.trace, &workload.symbols, &request)?;
+                let outcome = tune_observed(
+                    &workload.trace,
+                    &workload.symbols,
+                    &request,
+                    &tel.registry,
+                    None,
+                )?;
                 JobOutcome::Tuned {
                     label: job.label.clone(),
                     outcome,
@@ -608,11 +658,12 @@ fn run_multitask_job(job: &MultitaskJob, ctx: &Context) -> Result<JobOutcome, Ex
 pub fn execute(plan: &Plan, opts: &ExecOptions) -> Result<Vec<JobOutcome>, ExpError> {
     let ctx = Context::load(plan, opts)?;
     let groups = group_jobs(plan)?;
+    let tel = ExpTelemetry::bind(opts.registry());
     let results = ccache_core::parallel::par_map(&groups, |group| {
         if group.engine {
-            run_replay_group(&group.jobs, plan, &ctx, opts)
+            run_replay_group(&group.jobs, plan, &ctx, opts, &tel)
         } else {
-            run_single(group.jobs[0], plan, &ctx, opts)
+            run_single(group.jobs[0], plan, &ctx, opts, &tel)
         }
     });
     let mut indexed: Vec<(usize, JobOutcome)> = Vec::with_capacity(plan.jobs.len());
@@ -633,7 +684,7 @@ mod tests {
     fn quick() -> ExecOptions {
         ExecOptions {
             quick: true,
-            observe: None,
+            ..ExecOptions::default()
         }
     }
 

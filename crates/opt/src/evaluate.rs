@@ -16,6 +16,7 @@ use crate::space::{Genome, SearchSpace};
 use ccache_core::{CacheMapping, Candidate, ReplayFitness, RunResult};
 use ccache_layout::assignment_from_vertex_columns;
 use ccache_sim::backend::BackendKind;
+use ccache_telemetry::{Counter, Registry};
 use ccache_trace::Trace;
 use std::collections::BTreeMap;
 
@@ -57,6 +58,24 @@ pub struct Evaluator<'a> {
     cache: BTreeMap<Vec<u8>, Fitness>,
     budget: usize,
     replays: usize,
+    telemetry: EvaluatorTelemetry,
+}
+
+/// Pre-resolved telemetry handles, updated once per batch (never per genome).
+struct EvaluatorTelemetry {
+    evaluations: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+}
+
+impl EvaluatorTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        EvaluatorTelemetry {
+            evaluations: registry.counter("opt.evaluations"),
+            cache_hits: registry.counter("opt.fitness_cache.hits"),
+            cache_misses: registry.counter("opt.fitness_cache.misses"),
+        }
+    }
 }
 
 impl<'a> Evaluator<'a> {
@@ -75,7 +94,15 @@ impl<'a> Evaluator<'a> {
             cache: BTreeMap::new(),
             budget,
             replays: 0,
+            telemetry: EvaluatorTelemetry::bind(&Registry::global()),
         }
+    }
+
+    /// Rebinds the evaluator's telemetry to `registry` (the process-wide
+    /// [`Registry::global`] is bound at construction). Purely observational — cache
+    /// behaviour, budget accounting and results are unaffected.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = EvaluatorTelemetry::bind(registry);
     }
 
     /// Real replays performed so far (cache hits are free).
@@ -112,9 +139,11 @@ impl<'a> Evaluator<'a> {
         // remaining budget.
         let mut new_keys: Vec<Vec<u8>> = Vec::new();
         let mut new_genomes: Vec<&Genome> = Vec::new();
+        let mut cache_hits = 0u64;
         for genome in genomes {
             let key = genome.encode();
             if self.cache.contains_key(&key) || new_keys.contains(&key) {
+                cache_hits += 1;
                 continue;
             }
             if new_keys.len() >= self.remaining() {
@@ -123,6 +152,8 @@ impl<'a> Evaluator<'a> {
             new_keys.push(key);
             new_genomes.push(genome);
         }
+        self.telemetry.cache_hits.add(cache_hits);
+        self.telemetry.cache_misses.add(new_keys.len() as u64);
 
         let candidates: Vec<Candidate> = new_genomes
             .iter()
@@ -130,6 +161,7 @@ impl<'a> Evaluator<'a> {
             .collect::<Result<_, _>>()?;
         let results = self.fitness.evaluate_batch(&candidates);
         self.replays += results.len();
+        self.telemetry.evaluations.add(results.len() as u64);
         for (key, result) in new_keys.into_iter().zip(results) {
             self.cache.insert(key, Fitness::from_run(&result?));
         }

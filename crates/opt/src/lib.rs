@@ -66,16 +66,16 @@ pub use error::OptError;
 pub use evaluate::{Evaluator, Fitness};
 pub use space::{Genome, GeometryChoice, GeometrySearch, SearchSpace};
 pub use strategy::{
-    BestCandidate, Evolutionary, Exhaustive, GenerationPoint, HillClimb, SearchStrategy,
-    StrategyKind,
+    BestCandidate, Evolutionary, Exhaustive, GenerationPoint, HillClimb, ProgressLog,
+    SearchStrategy, StrategyKind, TuneProgress,
 };
-pub use tuner::{tune, BestConfig, ScoredLayout, TuneOutcome, TuneRequest};
+pub use tuner::{tune, tune_observed, BestConfig, ScoredLayout, TuneOutcome, TuneRequest};
 
 /// Convenient glob-import of the types most programs need.
 pub mod prelude {
     pub use crate::error::OptError;
     pub use crate::evaluate::{Evaluator, Fitness};
     pub use crate::space::{Genome, GeometrySearch, SearchSpace};
-    pub use crate::strategy::{SearchStrategy, StrategyKind};
-    pub use crate::tuner::{tune, TuneOutcome, TuneRequest};
+    pub use crate::strategy::{SearchStrategy, StrategyKind, TuneProgress};
+    pub use crate::tuner::{tune, tune_observed, TuneOutcome, TuneRequest};
 }

@@ -29,6 +29,81 @@ pub struct GenerationPoint {
     pub best: Fitness,
 }
 
+/// A live listener for search progress: one callback per convergence row, fired the
+/// moment the row is appended. This is how `tune` progress reaches telemetry gauges and
+/// streaming `subscribe` clients while the search is still running.
+pub trait TuneProgress {
+    /// Called after each round with the freshly appended convergence row.
+    fn on_generation(&mut self, point: &GenerationPoint);
+}
+
+/// The convergence log a search appends to: an owned list of [`GenerationPoint`] rows
+/// plus an optional live [`TuneProgress`] observer that sees each row as it lands.
+///
+/// Strategies only ever [`push`](ProgressLog::push) and read [`len`](ProgressLog::len)
+/// (the next generation index), so an observer can never change what gets logged —
+/// convergence stays byte-identical whether anyone is listening or not.
+#[derive(Default)]
+pub struct ProgressLog<'a> {
+    points: Vec<GenerationPoint>,
+    observer: Option<&'a mut dyn TuneProgress>,
+}
+
+impl<'a> ProgressLog<'a> {
+    /// An empty log with no observer.
+    pub fn new() -> ProgressLog<'static> {
+        ProgressLog {
+            points: Vec::new(),
+            observer: None,
+        }
+    }
+
+    /// An empty log that forwards each appended row to `observer`.
+    pub fn with_observer(observer: &'a mut dyn TuneProgress) -> ProgressLog<'a> {
+        ProgressLog {
+            points: Vec::new(),
+            observer: Some(observer),
+        }
+    }
+
+    /// Appends a row and notifies the observer, if any.
+    pub fn push(&mut self, point: GenerationPoint) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_generation(&point);
+        }
+        self.points.push(point);
+    }
+
+    /// Rows appended so far — also the next round's generation index.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Read-only view of the rows.
+    pub fn points(&self) -> &[GenerationPoint] {
+        &self.points
+    }
+
+    /// Consumes the log, returning the rows.
+    pub fn into_points(self) -> Vec<GenerationPoint> {
+        self.points
+    }
+}
+
+impl std::fmt::Debug for ProgressLog<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressLog")
+            .field("points", &self.points)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
 /// The best candidate found, with deterministic tie-breaking on the canonical key.
 #[derive(Debug, Clone)]
 pub struct BestCandidate {
@@ -80,7 +155,7 @@ pub trait SearchStrategy {
         space: &SearchSpace,
         eval: &mut Evaluator<'_>,
         rng: &mut StdRng,
-        log: &mut Vec<GenerationPoint>,
+        log: &mut ProgressLog<'_>,
     ) -> Result<BestCandidate, OptError>;
 }
 
@@ -103,7 +178,7 @@ fn evaluate_seeds(
     Ok(best)
 }
 
-fn log_round(log: &mut Vec<GenerationPoint>, eval: &Evaluator<'_>, best: &Option<BestCandidate>) {
+fn log_round(log: &mut ProgressLog<'_>, eval: &Evaluator<'_>, best: &Option<BestCandidate>) {
     if let Some(best) = best {
         log.push(GenerationPoint {
             generation: log.len(),
@@ -137,7 +212,7 @@ impl SearchStrategy for Exhaustive {
         space: &SearchSpace,
         eval: &mut Evaluator<'_>,
         _rng: &mut StdRng,
-        log: &mut Vec<GenerationPoint>,
+        log: &mut ProgressLog<'_>,
     ) -> Result<BestCandidate, OptError> {
         let batch = if self.batch == 0 { 64 } else { self.batch };
         let mut best = evaluate_seeds(space, eval)?;
@@ -189,7 +264,7 @@ impl SearchStrategy for HillClimb {
         space: &SearchSpace,
         eval: &mut Evaluator<'_>,
         rng: &mut StdRng,
-        log: &mut Vec<GenerationPoint>,
+        log: &mut ProgressLog<'_>,
     ) -> Result<BestCandidate, OptError> {
         let mut best = evaluate_seeds(space, eval)?;
         log_round(log, eval, &best);
@@ -277,7 +352,7 @@ impl SearchStrategy for Evolutionary {
         space: &SearchSpace,
         eval: &mut Evaluator<'_>,
         rng: &mut StdRng,
-        log: &mut Vec<GenerationPoint>,
+        log: &mut ProgressLog<'_>,
     ) -> Result<BestCandidate, OptError> {
         let mu = self.mu.max(2);
         let lambda = self.lambda.max(1);
@@ -453,12 +528,12 @@ mod tests {
         let space = SearchSpace::build(&t, &s, template(), &GeometrySearch::fixed(), &[]).unwrap();
         let mut eval = Evaluator::new(&space, t, budget, false);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut log = Vec::new();
+        let mut log = ProgressLog::new();
         let best = kind
             .build()
             .search(&space, &mut eval, &mut rng, &mut log)
             .unwrap();
-        (best, log)
+        (best, log.into_points())
     }
 
     #[test]

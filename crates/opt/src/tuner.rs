@@ -9,12 +9,13 @@
 use crate::error::OptError;
 use crate::evaluate::{Evaluator, Fitness};
 use crate::space::{GeometrySearch, SearchSpace};
-use crate::strategy::{BestCandidate, GenerationPoint, StrategyKind};
+use crate::strategy::{BestCandidate, GenerationPoint, ProgressLog, StrategyKind, TuneProgress};
 use ccache_core::CacheMapping;
 use ccache_json::{Json, ToJson};
 use ccache_layout::assignment_from_vertex_columns;
 use ccache_sim::backend::BackendKind;
 use ccache_sim::SystemConfig;
+use ccache_telemetry::Registry;
 use ccache_trace::{SymbolTable, Trace, VarId};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -246,7 +247,40 @@ impl ToJson for TuneOutcome {
     }
 }
 
+/// Forwards each generation to the telemetry registry, then to an optional
+/// caller-supplied observer. Keeps the per-generation instrumentation (one counter
+/// increment and one gauge store) out of the strategies themselves.
+struct TelemetryProgress<'a> {
+    generations: ccache_telemetry::Counter,
+    best_misses: ccache_telemetry::Gauge,
+    next: Option<&'a mut dyn TuneProgress>,
+}
+
+impl<'a> TelemetryProgress<'a> {
+    fn new(registry: &Registry, next: Option<&'a mut dyn TuneProgress>) -> Self {
+        TelemetryProgress {
+            generations: registry.counter("opt.generations"),
+            best_misses: registry.gauge("opt.best.misses"),
+            next,
+        }
+    }
+}
+
+impl TuneProgress for TelemetryProgress<'_> {
+    fn on_generation(&mut self, point: &GenerationPoint) {
+        self.generations.incr();
+        self.best_misses.set(point.best.misses);
+        if let Some(next) = self.next.as_deref_mut() {
+            next.on_generation(point);
+        }
+    }
+}
+
 /// Runs one tuning search over a workload.
+///
+/// Equivalent to [`tune_observed`] with the process-wide registry and no live
+/// progress observer; the full convergence log is still available on the returned
+/// [`TuneOutcome`].
 ///
 /// # Errors
 ///
@@ -256,6 +290,27 @@ pub fn tune(
     trace: &Trace,
     symbols: &SymbolTable,
     request: &TuneRequest,
+) -> Result<TuneOutcome, OptError> {
+    tune_observed(trace, symbols, request, &Registry::global(), None)
+}
+
+/// Runs one tuning search, streaming per-generation progress.
+///
+/// Identical search trajectory and result to [`tune`] — observation never steers the
+/// search. `telemetry` receives the `opt.*` counters and gauges (per-generation count,
+/// best-so-far misses, fitness-cache traffic); `progress` — when given — is called once
+/// per completed generation, after the telemetry update, from the calling thread.
+///
+/// # Errors
+///
+/// Fails when the template geometry is invalid, the space is empty, the budget is zero,
+/// or evaluation fails.
+pub fn tune_observed(
+    trace: &Trace,
+    symbols: &SymbolTable,
+    request: &TuneRequest,
+    telemetry: &Registry,
+    progress: Option<&mut dyn TuneProgress>,
 ) -> Result<TuneOutcome, OptError> {
     if request.budget == 0 {
         return Err(OptError::BadRequest {
@@ -270,6 +325,7 @@ pub fn tune(
         &request.forced,
     )?;
     let mut eval = Evaluator::new(&space, trace.clone(), request.budget, request.serial);
+    eval.set_telemetry(telemetry);
 
     // Reference points: the paper's heuristic layout (geometry 0 is always the
     // template) and the plain set-associative cache. The heuristic replay is also the
@@ -292,9 +348,11 @@ pub fn tune(
     };
 
     let mut rng = StdRng::seed_from_u64(request.seed);
-    let mut convergence = Vec::new();
+    let mut observer = TelemetryProgress::new(telemetry, progress);
+    let mut log = ProgressLog::with_observer(&mut observer);
     let strategy = request.strategy.build();
-    let mut best = strategy.search(&space, &mut eval, &mut rng, &mut convergence)?;
+    let mut best = strategy.search(&space, &mut eval, &mut rng, &mut log)?;
+    let convergence = log.into_points();
 
     // The seeds are evaluated first by every strategy, so this cannot trigger; it is a
     // guarantee, not a hope.
@@ -416,6 +474,38 @@ mod tests {
         )
         .unwrap();
         assert_eq!(parallel.to_json().pretty(), serial.to_json().pretty());
+    }
+
+    #[test]
+    fn observed_runs_stream_every_generation_and_match_tune() {
+        struct Collect(Vec<GenerationPoint>);
+        impl TuneProgress for Collect {
+            fn on_generation(&mut self, point: &GenerationPoint) {
+                self.0.push(point.clone());
+            }
+        }
+
+        let (t, s) = workload();
+        let plain = tune(&t, &s, &request()).unwrap();
+
+        let registry = Registry::new();
+        let mut collect = Collect(Vec::new());
+        let observed = tune_observed(&t, &s, &request(), &registry, Some(&mut collect)).unwrap();
+
+        // Observation never steers the search.
+        assert_eq!(plain.to_json().pretty(), observed.to_json().pretty());
+        // The live stream is exactly the convergence log, in order.
+        assert_eq!(collect.0, observed.convergence);
+        // Telemetry saw one increment per generation and the final best gauge.
+        assert_eq!(
+            registry.counter_value("opt.generations"),
+            observed.convergence.len() as u64
+        );
+        assert_eq!(
+            registry.gauge_value("opt.best.misses"),
+            observed.convergence.last().unwrap().best.misses
+        );
+        assert!(registry.counter_value("opt.evaluations") > 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * a fixed seed produces an identical best result (and convergence log) with
 //!   thread-parallel evaluation on and off.
 
-use ccache_opt::{tune, Evaluator, GeometrySearch, SearchSpace, StrategyKind, TuneRequest};
+use ccache_opt::{
+    tune, Evaluator, GeometrySearch, ProgressLog, SearchSpace, StrategyKind, TuneRequest,
+};
 use ccache_sim::SystemConfig;
 use ccache_trace::{AccessKind, SymbolTable, Trace, TraceRecorder, VarId};
 use proptest::prelude::*;
@@ -106,9 +108,9 @@ proptest! {
         let run = |serial: bool| {
             let mut eval = Evaluator::new(&space, t.clone(), 30, serial);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut log = Vec::new();
+            let mut log = ProgressLog::new();
             let best = kind.build().search(&space, &mut eval, &mut rng, &mut log).unwrap();
-            (best, eval.replays(), log)
+            (best, eval.replays(), log.into_points())
         };
         let (best_par, replays_par, log_par) = run(false);
         let (best_ser, replays_ser, log_ser) = run(true);

@@ -9,7 +9,7 @@
 //! # Protocol in one paragraph
 //!
 //! A request is one line: a JSON object with a `"cmd"` field (`replay`, `run`, `tune`,
-//! `upload`, `subscribe`, `status`, `shutdown`) plus command parameters, and optional
+//! `upload`, `subscribe`, `status`, `metrics`, `shutdown`) plus command parameters, and optional
 //! `"id"` (echoed verbatim into every reply frame) and `"tenant"` (counted in `status`)
 //! fields. A reply is one line: `{"id":…,"ok":true,"result":…}` on success or
 //! `{"id":…,"ok":false,"error":{"code":…,"message":…}}` on refusal; `subscribe`
@@ -79,6 +79,10 @@ pub struct ServeConfig {
     pub quick: bool,
     /// Enables the `debug_sleep` command (deterministic lifecycle tests only).
     pub debug_commands: bool,
+    /// Emit one NDJSON record per handled request (tenant, verb, outcome, duration
+    /// bucket) to stderr — `ccache serve --log ndjson`. Tests can redirect the stream
+    /// with [`Service::set_log_writer`].
+    pub log_ndjson: bool,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +96,7 @@ impl Default for ServeConfig {
             read_timeout: None,
             quick: false,
             debug_commands: false,
+            log_ndjson: false,
         }
     }
 }

@@ -18,14 +18,16 @@ use crate::ServeConfig;
 use ccache_core::observe::{ReplayEvent, ReplayObserver, WindowSample};
 use ccache_exp::ExperimentSpec;
 use ccache_json::{Json, ToJson};
+use ccache_opt::{GenerationPoint, StrategyKind, TuneProgress, TuneRequest};
+use ccache_telemetry::{bucket_of, Counter, Gauge, Registry};
 use column_caching::Session;
 use std::collections::BTreeMap;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The structured error codes a reply's `error.code` field can carry.
 pub mod code {
@@ -151,15 +153,45 @@ pub fn error_frame(id: &Json, code: &str, message: &str) -> Json {
 
 static UPLOAD_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Pre-resolved handles for the service's own registry cells (the hot-path ones;
+/// per-tenant and per-verb counters are resolved by name on demand).
+struct ServeTelemetry {
+    /// `serve.queue.depth` — jobs queued, not yet running.
+    queue_depth: Gauge,
+    /// `serve.workers.busy` — workers currently executing a job.
+    workers_busy: Gauge,
+    /// `serve.store.claims` — result-store claims attempted (hit or owner).
+    store_claims: Counter,
+    /// `serve.store.publishes` — outcomes published by workers.
+    store_publishes: Counter,
+    /// `serve.store.abandons` — claims released without publishing (shed/closed).
+    store_abandons: Counter,
+}
+
+impl ServeTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        ServeTelemetry {
+            queue_depth: registry.gauge("serve.queue.depth"),
+            workers_busy: registry.gauge("serve.workers.busy"),
+            store_claims: registry.counter("serve.store.claims"),
+            store_publishes: registry.counter("serve.store.publishes"),
+            store_abandons: registry.counter("serve.store.abandons"),
+        }
+    }
+}
+
 /// The serve engine: the bounded queue, the content-addressed result store, uploaded
-/// traces, tenant counters, and the shutdown latch. One `Service` is shared by every
-/// connection thread and every worker of a server.
+/// traces, the telemetry registry, and the shutdown latch. One `Service` is shared by
+/// every connection thread and every worker of a server.
 pub struct Service {
     config: ServeConfig,
     store: ResultStore,
     queue: JobQueue<Job>,
     uploads: Mutex<BTreeMap<String, Upload>>,
-    tenants: Mutex<BTreeMap<String, TenantCounters>>,
+    telemetry: Registry,
+    metrics: ServeTelemetry,
+    started: Instant,
+    log: Mutex<Option<Box<dyn Write + Send>>>,
     executed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
@@ -180,12 +212,24 @@ impl Service {
             std::process::id(),
             UPLOAD_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        // Each service gets a private registry: worker sessions report into it, so the
+        // `metrics` verb sees engine/opt/exp numbers for this server only.
+        let telemetry = Registry::new();
+        let metrics = ServeTelemetry::bind(&telemetry);
+        let log: Option<Box<dyn Write + Send>> = if config.log_ndjson {
+            Some(Box::new(std::io::stderr()))
+        } else {
+            None
+        };
         Service {
             queue: JobQueue::new(config.queue_depth),
             config,
             store: ResultStore::new(),
             uploads: Mutex::new(BTreeMap::new()),
-            tenants: Mutex::new(BTreeMap::new()),
+            telemetry,
+            metrics,
+            started: Instant::now(),
+            log: Mutex::new(log),
             executed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -201,6 +245,24 @@ impl Service {
     /// The configuration the service runs under.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The service's telemetry registry: every worker session, engine and tuner of
+    /// this server reports into it, and the `metrics` verb snapshots it.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Redirects (or disables) the NDJSON request log, regardless of
+    /// [`ServeConfig::log_ndjson`]. Tests use this to capture the stream.
+    pub fn set_log_writer(&self, writer: Option<Box<dyn Write + Send>>) {
+        *self.log.lock().unwrap() = writer;
+    }
+
+    /// Milliseconds since the service was constructed (the `status` verb's
+    /// `uptime_ms`).
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 
     /// Result-store counters (hits, misses, entries) — the dedup evidence the
@@ -253,6 +315,8 @@ impl Service {
     pub fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
             self.running.fetch_add(1, Ordering::SeqCst);
+            self.metrics.queue_depth.set(self.queue.len() as u64);
+            self.metrics.workers_busy.add(1);
             let outcome = match job.task {
                 Task::DebugSleep(pause) => {
                     std::thread::sleep(pause);
@@ -285,7 +349,11 @@ impl Service {
                     }
                 }
             };
+            // Counted before the publish wakes waiters, so a `metrics` request sent
+            // right after a job's reply already sees its publish.
+            self.metrics.store_publishes.incr();
             self.store.publish(&job.key, outcome);
+            self.metrics.workers_busy.sub(1);
             self.running.fetch_sub(1, Ordering::SeqCst);
         }
     }
@@ -295,7 +363,12 @@ impl Service {
     /// reply); every error — malformed frames included — is a structured reply that
     /// keeps the connection open.
     pub fn respond(&self, raw: &[u8], emit: &mut (dyn FnMut(&Json) + Send)) -> bool {
+        let start = Instant::now();
+        // Telemetry and the request log are recorded *before* the reply is emitted:
+        // the moment a client sees a reply, every record for that request exists (the
+        // determinism suite snapshots registries right after its final reply).
         let Ok(text) = std::str::from_utf8(raw) else {
+            self.finish_request("anonymous", "invalid", code::BAD_FRAME, start);
             emit(&error_frame(
                 &Json::Null,
                 code::BAD_FRAME,
@@ -309,6 +382,7 @@ impl Service {
         let doc = match Json::parse(text) {
             Ok(doc) => doc,
             Err(e) => {
+                self.finish_request("anonymous", "invalid", code::BAD_FRAME, start);
                 emit(&error_frame(
                     &Json::Null,
                     code::BAD_FRAME,
@@ -318,6 +392,7 @@ impl Service {
             }
         };
         if doc.as_obj().is_none() {
+            self.finish_request("anonymous", "invalid", code::BAD_FRAME, start);
             emit(&error_frame(
                 &Json::Null,
                 code::BAD_FRAME,
@@ -331,17 +406,43 @@ impl Service {
             .and_then(Json::as_str)
             .unwrap_or("anonymous")
             .to_owned();
-        self.tenant_mut(&tenant, |t| t.requests += 1);
+        let verb = known_verb(doc.get("cmd").and_then(Json::as_str));
+        self.telemetry.counter(&format!("serve.verb.{verb}")).incr();
+        self.tenant_incr(&tenant, "requests");
         match self.dispatch(&doc, &id, &tenant, emit) {
             Ok(reply) => {
+                self.finish_request(&tenant, verb, "ok", start);
                 emit(&ok_frame(&id, reply.result));
                 !reply.close
             }
             Err(refusal) => {
-                self.tenant_mut(&tenant, |t| t.errors += 1);
+                self.tenant_incr(&tenant, "errors");
+                self.finish_request(&tenant, verb, refusal.code, start);
                 emit(&error_frame(&id, refusal.code, &refusal.message));
                 true
             }
+        }
+    }
+
+    /// Per-request epilogue: the latency histogram and (when enabled) one NDJSON log
+    /// record. The duration only ever feeds quarantined timing cells and the log
+    /// stream — never a deterministic counter.
+    fn finish_request(&self, tenant: &str, verb: &str, outcome: &str, start: Instant) {
+        let micros = start.elapsed().as_micros() as u64;
+        self.telemetry
+            .histogram(&format!("serve.request.{verb}"))
+            .record(micros);
+        let mut log = self.log.lock().unwrap();
+        if let Some(writer) = log.as_mut() {
+            let record = Json::obj([
+                ("tenant", tenant.to_json()),
+                ("cmd", verb.to_json()),
+                ("outcome", outcome.to_json()),
+                ("duration_us", micros.to_json()),
+                ("duration_log2_us", (bucket_of(micros) as u64).to_json()),
+            ])
+            .compact();
+            let _ = writeln!(writer, "{record}");
         }
     }
 
@@ -358,6 +459,7 @@ impl Service {
             .ok_or_else(|| Refusal::bad_request("the request needs a string 'cmd'"))?;
         match cmd {
             "status" => Ok(Reply::keep(self.status_doc())),
+            "metrics" => Ok(Reply::keep(self.telemetry.snapshot())),
             "upload" => self.cmd_upload(doc),
             "run" => self.cmd_run(doc, tenant),
             "replay" => self.cmd_grid(doc, tenant, None),
@@ -381,7 +483,7 @@ impl Service {
             "debug_sleep" if self.config.debug_commands => self.cmd_debug_sleep(doc, tenant),
             other => Err(Refusal::bad_request(format!(
                 "unknown cmd '{other}' (expected replay, run, tune, upload, subscribe, \
-                 status or shutdown)"
+                 status, metrics or shutdown)"
             ))),
         }
     }
@@ -458,9 +560,10 @@ impl Service {
                 "the server is draining and accepts no new jobs",
             ));
         }
+        self.metrics.store_claims.incr();
         let outcome = match self.store.claim(&key) {
             Claim::Done(outcome) => {
-                self.tenant_mut(tenant, |t| t.cache_hits += 1);
+                self.tenant_incr(tenant, "cache_hits");
                 outcome
             }
             Claim::Owner => match self.queue.submit(Job {
@@ -468,13 +571,15 @@ impl Service {
                 task: task(),
             }) {
                 Ok(()) => {
-                    self.tenant_mut(tenant, |t| t.cache_misses += 1);
+                    self.tenant_incr(tenant, "cache_misses");
+                    self.metrics.queue_depth.set(self.queue.len() as u64);
                     self.store.wait(&key).ok_or_else(|| {
                         Refusal::new(code::INTERNAL, "the computation was abandoned")
                     })?
                 }
                 Err(SubmitError::Full) => {
                     self.store.abandon(&key);
+                    self.metrics.store_abandons.incr();
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(Refusal::new(
                         code::OVERLOADED,
@@ -486,6 +591,7 @@ impl Service {
                 }
                 Err(SubmitError::Closed) => {
                     self.store.abandon(&key);
+                    self.metrics.store_abandons.incr();
                     return Err(Refusal::new(
                         code::SHUTTING_DOWN,
                         "the server is draining and accepts no new jobs",
@@ -552,6 +658,9 @@ impl Service {
                 "the server is draining and accepts no new jobs",
             ));
         }
+        if let Some(tune) = doc.get("tune") {
+            return self.cmd_subscribe_tune(doc, tune, id, emit);
+        }
         let quick = self.quick_of(doc)?;
         let window = match doc.get("window") {
             None => 4096,
@@ -572,6 +681,7 @@ impl Service {
         let session = Session::builder()
             .quick(quick)
             .backend(backend)
+            .telemetry(self.telemetry.clone())
             .build()
             .map_err(|e| Refusal::bad_request(e.to_string()))?;
         let (name, trace) = if let Some(w) = doc.get("workload").and_then(Json::as_str) {
@@ -609,6 +719,96 @@ impl Service {
         ])))
     }
 
+    /// `subscribe` with a `"tune"` object: run a tuning search on this thread,
+    /// streaming one `{"event":"generation"}` frame per completed search round, then
+    /// reply with the full [`TuneOutcome`]. Like the replay form, it bypasses the
+    /// queue and the store — a live stream is personal to its connection.
+    fn cmd_subscribe_tune(
+        &self,
+        doc: &Json,
+        tune: &Json,
+        id: &Json,
+        emit: &mut (dyn FnMut(&Json) + Send),
+    ) -> Result<Reply, Refusal> {
+        let quick = self.quick_of(doc)?;
+        let session = Session::builder()
+            .quick(quick)
+            .telemetry(self.telemetry.clone())
+            .build()
+            .map_err(|e| Refusal::bad_request(e.to_string()))?;
+        let (name, trace, symbols) = if let Some(w) = doc.get("workload").and_then(Json::as_str) {
+            let run = ccache_workloads::corpus(w, quick).ok_or_else(|| {
+                Refusal::bad_request(format!(
+                    "unknown workload '{w}' (expected one of: {})",
+                    ccache_workloads::CORPUS_NAMES.join(", ")
+                ))
+            })?;
+            (run.name, run.trace, run.symbols)
+        } else if let Some(t) = doc.get("trace").and_then(Json::as_str) {
+            let path = self.upload_path(t).unwrap_or_else(|| PathBuf::from(t));
+            let trace = load_trace(&path)
+                .map_err(|e| Refusal::bad_request(format!("cannot load trace '{t}': {e}")))?;
+            let config = session.config();
+            let symbols = ccache_trace::infer::infer_symbols(
+                &trace,
+                config.page_size.max(4096),
+                config.cache.line_size(),
+            );
+            (t.to_owned(), trace, symbols)
+        } else {
+            return Err(Refusal::bad_request(
+                "subscribe needs 'workload' (a corpus name) or 'trace' (an uploaded name)",
+            ));
+        };
+        let strategy = match tune.get("strategy") {
+            None => StrategyKind::default(),
+            Some(v) => {
+                let raw = v
+                    .as_str()
+                    .ok_or_else(|| Refusal::bad_request("'strategy' must be a string"))?;
+                StrategyKind::parse(raw)
+                    .ok_or_else(|| Refusal::bad_request(format!("unknown strategy '{raw}'")))?
+            }
+        };
+        let budget = match tune.get("budget") {
+            None => 64,
+            Some(v) => v
+                .as_u64()
+                .filter(|b| *b > 0)
+                .ok_or_else(|| Refusal::bad_request("'budget' must be a positive integer"))?
+                as usize,
+        };
+        let seed = match tune.get("seed") {
+            None => TuneRequest::default().seed,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| Refusal::bad_request("'seed' must be an integer"))?,
+        };
+        let request = TuneRequest {
+            template: *session.config(),
+            geometry: ccache_opt::GeometrySearch::fixed(),
+            strategy,
+            budget,
+            seed,
+            ..TuneRequest::default()
+        };
+        let mut streamer = GenerationStreamer {
+            emit,
+            id,
+            generations: 0,
+        };
+        let outcome = session
+            .tune_with_progress(&trace, &symbols, &request, &mut streamer)
+            .map_err(|e| Refusal::new(code::JOB_FAILED, e.to_string()))?;
+        let generations = streamer.generations;
+        Ok(Reply::keep(Json::obj([
+            ("workload", name.to_json()),
+            ("strategy", outcome.strategy.to_json()),
+            ("generations", generations.to_json()),
+            ("result", outcome.to_json()),
+        ])))
+    }
+
     /// `debug_sleep`: occupy one worker slot for `ms` milliseconds. Every call gets a
     /// fresh key, so sleeps are never deduplicated — they exist to pin workers and fill
     /// the queue deterministically in lifecycle tests.
@@ -629,7 +829,6 @@ impl Service {
     fn status_doc(&self) -> Json {
         let cache = self.store.counters();
         let uploads = self.uploads.lock().unwrap();
-        let tenants = self.tenants.lock().unwrap();
         Json::obj([
             (
                 "server",
@@ -641,6 +840,7 @@ impl Service {
                     ("running", self.running.load(Ordering::SeqCst).to_json()),
                     ("quick", self.config.quick.to_json()),
                     ("shutting_down", self.is_shutting_down().to_json()),
+                    ("uptime_ms", self.uptime_ms().to_json()),
                 ]),
             ),
             (
@@ -660,6 +860,22 @@ impl Service {
                 ]),
             ),
             (
+                "verbs",
+                Json::Obj(
+                    self.telemetry
+                        .counters_with_prefix("serve.verb.")
+                        .into_iter()
+                        .map(|(name, count)| {
+                            let verb = name
+                                .strip_prefix("serve.verb.")
+                                .expect("prefix scan")
+                                .to_owned();
+                            (verb, count.to_json())
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "uploads",
                 Json::Obj(
                     uploads
@@ -671,9 +887,9 @@ impl Service {
             (
                 "tenants",
                 Json::Obj(
-                    tenants
-                        .iter()
-                        .map(|(name, t)| (name.clone(), t.to_json()))
+                    self.tenant_counters()
+                        .into_iter()
+                        .map(|(name, t)| (name, t.to_json()))
                         .collect(),
                 ),
             ),
@@ -693,9 +909,12 @@ impl Service {
 
     /// The session a compute request runs under: per-request `quick` / `observe`
     /// overrides on top of the server defaults. Both knobs feed the canonical memo key
-    /// through [`Session::spec_key`].
+    /// through [`Session::spec_key`]; the telemetry routing does not (it never changes
+    /// artefact bytes).
     fn session_for(&self, doc: &Json) -> Result<Session, Refusal> {
-        let mut builder = Session::builder().quick(self.quick_of(doc)?);
+        let mut builder = Session::builder()
+            .quick(self.quick_of(doc)?)
+            .telemetry(self.telemetry.clone());
         if let Some(v) = doc.get("observe") {
             let window = v
                 .as_u64()
@@ -743,9 +962,52 @@ impl Service {
         }
     }
 
-    fn tenant_mut(&self, tenant: &str, update: impl FnOnce(&mut TenantCounters)) {
-        let mut tenants = self.tenants.lock().unwrap();
-        update(tenants.entry(tenant.to_owned()).or_default());
+    /// Bumps one per-tenant registry counter (`serve.tenant.<tenant>.<field>`). The
+    /// registry replaces the hand-rolled `Mutex<BTreeMap<_, TenantCounters>>` the
+    /// service used to carry; `status` reconstructs the same schema from these cells.
+    fn tenant_incr(&self, tenant: &str, field: &str) {
+        self.telemetry
+            .counter(&format!("serve.tenant.{tenant}.{field}"))
+            .incr();
+    }
+
+    /// Reassembles the per-tenant counters from the registry, sorted by tenant name —
+    /// the exact table `status.tenants` always carried.
+    pub fn tenant_counters(&self) -> BTreeMap<String, TenantCounters> {
+        let mut tenants: BTreeMap<String, TenantCounters> = BTreeMap::new();
+        for (name, value) in self.telemetry.counters_with_prefix("serve.tenant.") {
+            let rest = name.strip_prefix("serve.tenant.").expect("prefix scan");
+            let Some((tenant, field)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            let entry = tenants.entry(tenant.to_owned()).or_default();
+            match field {
+                "requests" => entry.requests = value,
+                "errors" => entry.errors = value,
+                "cache_hits" => entry.cache_hits = value,
+                "cache_misses" => entry.cache_misses = value,
+                _ => {}
+            }
+        }
+        tenants
+    }
+}
+
+/// Canonicalizes a request's `cmd` for metric names and the request log: known verbs
+/// pass through, anything else (including a missing `cmd`) collapses to `unknown`, so
+/// client-controlled strings can never mint unbounded registry cells.
+fn known_verb(cmd: Option<&str>) -> &'static str {
+    match cmd {
+        Some("status") => "status",
+        Some("metrics") => "metrics",
+        Some("upload") => "upload",
+        Some("run") => "run",
+        Some("replay") => "replay",
+        Some("tune") => "tune",
+        Some("subscribe") => "subscribe",
+        Some("shutdown") => "shutdown",
+        Some("debug_sleep") => "debug_sleep",
+        _ => "unknown",
     }
 }
 
@@ -755,6 +1017,40 @@ struct Streamer<'a> {
     emit: &'a mut (dyn FnMut(&Json) + Send),
     id: &'a Json,
     windows: u64,
+}
+
+/// The `subscribe`+`tune` observer: forwards each completed search generation as a
+/// `{"event":"generation"}` frame tagged with the request's `id`.
+struct GenerationStreamer<'a> {
+    emit: &'a mut (dyn FnMut(&Json) + Send),
+    id: &'a Json,
+    generations: u64,
+}
+
+impl TuneProgress for GenerationStreamer<'_> {
+    fn on_generation(&mut self, point: &GenerationPoint) {
+        self.generations += 1;
+        (self.emit)(&Json::obj([
+            ("id", self.id.clone()),
+            ("event", "generation".to_json()),
+            (
+                "data",
+                Json::obj([
+                    ("generation", (point.generation as u64).to_json()),
+                    ("replays", (point.replays as u64).to_json()),
+                    (
+                        "best",
+                        Json::obj([
+                            ("misses", point.best.misses.to_json()),
+                            ("cycles", point.best.cycles.to_json()),
+                            ("references", point.best.references.to_json()),
+                            ("miss_rate", point.best.miss_rate.to_json()),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]));
+    }
 }
 
 impl ReplayObserver for Streamer<'_> {

@@ -16,7 +16,7 @@
 
 use crate::error::SimError;
 use crate::mask::ColumnMask;
-use crate::stats::{CacheStats, CycleReport, MemoryStats};
+use crate::stats::{BatchMemoStats, CacheStats, CycleReport, MemoryStats};
 use crate::system::{MemorySystem, SystemConfig};
 use crate::tint::Tint;
 use std::ops::Range;
@@ -95,6 +95,13 @@ pub trait MemoryBackend: Send + Sync {
     /// Cache statistics accumulated since the last reset.
     fn cache_stats(&self) -> &CacheStats;
 
+    /// Batch-replay memo counters ([`MemoryBackend::run_batch`] short-circuits)
+    /// accumulated since the last reset. Informational — not architectural state.
+    /// Backends without a batched fast path report zeros.
+    fn memo_stats(&self) -> BatchMemoStats {
+        BatchMemoStats::default()
+    }
+
     /// Cycles spent in software control operations since the last reset.
     fn control_cycles(&self) -> u64;
 
@@ -163,6 +170,10 @@ impl MemoryBackend for MemorySystem {
 
     fn cache_stats(&self) -> &CacheStats {
         MemorySystem::cache_stats(self)
+    }
+
+    fn memo_stats(&self) -> BatchMemoStats {
+        MemorySystem::memo_stats(self)
     }
 
     fn control_cycles(&self) -> u64 {
@@ -272,6 +283,10 @@ impl MemoryBackend for SetAssocBaseline {
 
     fn cache_stats(&self) -> &CacheStats {
         self.inner.cache_stats()
+    }
+
+    fn memo_stats(&self) -> BatchMemoStats {
+        self.inner.memo_stats()
     }
 
     fn control_cycles(&self) -> u64 {

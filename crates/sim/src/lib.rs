@@ -58,7 +58,7 @@ pub use page_table::{PageEntry, PageTable};
 pub use registry::{BackendEntry, BackendFactory, BackendRegistry};
 pub use replacement::{ReplacementPolicy, ReplacementState};
 pub use scratchpad::Scratchpad;
-pub use stats::{CacheStats, CycleReport, MemoryStats};
+pub use stats::{BatchMemoStats, CacheStats, CycleReport, MemoryStats};
 pub use system::{MemorySystem, SystemConfig};
 pub use tint::{Tint, TintTable};
 pub use tlb::{Tlb, TlbStats};

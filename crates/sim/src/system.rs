@@ -19,7 +19,7 @@ use crate::mask::ColumnMask;
 use crate::memory::MainMemory;
 use crate::page_table::PageTable;
 use crate::scratchpad::Scratchpad;
-use crate::stats::{CacheStats, CycleReport, MemoryStats};
+use crate::stats::{BatchMemoStats, CacheStats, CycleReport, MemoryStats};
 use crate::tint::{Tint, TintTable};
 use crate::tlb::Tlb;
 use std::ops::Range;
@@ -83,6 +83,7 @@ pub struct MemorySystem {
     scratchpad: Option<Scratchpad>,
     memory: MainMemory,
     stats: MemoryStats,
+    memo: BatchMemoStats,
     /// Cycles spent in software control operations (tint remaps, re-tints, preloads,
     /// explicit copies). Reported separately so experiments can include or exclude them.
     pub control_cycles: u64,
@@ -111,6 +112,7 @@ impl MemorySystem {
                 config.latency.writeback_penalty,
             ),
             stats: MemoryStats::default(),
+            memo: BatchMemoStats::default(),
             control_cycles: 0,
         })
     }
@@ -160,6 +162,14 @@ impl MemorySystem {
         &self.stats
     }
 
+    /// Batch-replay memo counters ([`MemorySystem::run_batch`] short-circuits). Not part
+    /// of [`MemorySystem::stats`]: the memo only exists on the batched path, and the
+    /// architectural statistics must stay identical between batched and per-reference
+    /// replay.
+    pub fn memo_stats(&self) -> BatchMemoStats {
+        self.memo
+    }
+
     /// Cache statistics (hits, misses, per-column counters).
     pub fn cache_stats(&self) -> &CacheStats {
         self.cache.stats()
@@ -168,6 +178,7 @@ impl MemorySystem {
     /// Resets every statistic (but not cache/TLB contents or mappings).
     pub fn reset_stats(&mut self) {
         self.stats = MemoryStats::default();
+        self.memo = BatchMemoStats::default();
         self.cache.reset_stats();
         self.tlb.reset_stats();
         self.memory.reset();
@@ -352,6 +363,10 @@ impl MemorySystem {
                 }
             };
         let mut total = 0u64;
+        // Memo-hit tallies stay in registers inside the loop and flush once at the end,
+        // so the instrumentation costs two adds per batch, not per reference.
+        let mut translation_hits = 0u64;
+        let mut tint_hits = 0u64;
         for &(addr, is_write) in refs {
             self.stats.references += 1;
             if self.scratchpad_access(addr) {
@@ -365,6 +380,7 @@ impl MemorySystem {
                 match self.tlb.probe_slot(cached.1, vpn) {
                     Some(entry) => {
                         self.stats.tlb_hits += 1;
+                        translation_hits += 1;
                         (entry, 0)
                     }
                     // The TLB slot was reused for another page since we cached it.
@@ -381,6 +397,7 @@ impl MemorySystem {
             let tint = u64::from(entry.tint.0);
             let mway = (tint as usize) % TINT_WAYS;
             let mask = if mcache[mway].0 == tint {
+                tint_hits += 1;
                 mcache[mway].1
             } else {
                 let mask = self.tints.mask_or_default(entry.tint);
@@ -389,6 +406,8 @@ impl MemorySystem {
             };
             total += self.cacheable_access(addr, is_write, mask, cycles);
         }
+        self.memo.translation_hits += translation_hits;
+        self.memo.tint_hits += tint_hits;
         total
     }
 

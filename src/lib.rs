@@ -23,6 +23,7 @@
 //! | [`core`] (`ccache-core`) | placement, experiment runners: Figure 4 partition sweep, dynamic column-cache run, Figure 5 multitasking CPI sweep |
 //! | [`opt`] (`ccache-opt`) | autotuning: joint search over cache geometries and column assignments with replay-driven fitness |
 //! | [`exp`] (`ccache-exp`) | declarative experiment layer: JSON specs, deduplicating planner, parallel executor, unified artefacts |
+//! | [`telemetry`] (`ccache-telemetry`) | process-wide counters, gauges, histograms and spans with deterministic snapshots (timing quarantined) |
 //! | `ccache-serve` | the `ccache serve` service: NDJSON-over-TCP sessions, a worker pool, and a content-addressed result store keyed by [`Session::spec_key`] |
 //!
 //! # Quick start: the `Session` facade
@@ -70,6 +71,7 @@ pub use ccache_exp as exp;
 pub use ccache_layout as layout;
 pub use ccache_opt as opt;
 pub use ccache_sim as sim;
+pub use ccache_telemetry as telemetry;
 pub use ccache_trace as trace;
 pub use ccache_workloads as workloads;
 
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use ccache_layout::prelude::*;
     pub use ccache_opt::prelude::*;
     pub use ccache_sim::prelude::*;
+    pub use ccache_telemetry::prelude::*;
     pub use ccache_trace::{AccessKind, MemAccess, SymbolTable, Trace, TraceRecorder, VarId};
     pub use ccache_workloads::prelude::*;
 }

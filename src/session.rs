@@ -29,9 +29,10 @@ use ccache_core::{CoreError, ReplayEngine, RunResult};
 use ccache_exp::exec::{ExecOptions, ObserveOptions};
 use ccache_exp::{Artefact, ExpError, ExperimentSpec, GeometrySpec, Plan};
 use ccache_json::{Json, ToJson};
-use ccache_opt::{OptError, TuneOutcome, TuneRequest};
+use ccache_opt::{OptError, TuneOutcome, TuneProgress, TuneRequest};
 use ccache_sim::backend::MemoryBackend;
 use ccache_sim::{BackendRegistry, SimError, SystemConfig};
+use ccache_telemetry::Registry;
 use ccache_trace::{SymbolTable, Trace};
 
 /// Errors surfaced by the [`Session`] facade: either a bad request (unknown backend or
@@ -120,6 +121,7 @@ pub struct SessionBuilder {
     quick: bool,
     observe: Option<u64>,
     registry: BackendRegistry,
+    telemetry: Option<Registry>,
 }
 
 impl Default for SessionBuilder {
@@ -130,6 +132,7 @@ impl Default for SessionBuilder {
             quick: false,
             observe: None,
             registry: BackendRegistry::builtin(),
+            telemetry: None,
         }
     }
 }
@@ -164,6 +167,14 @@ impl SessionBuilder {
     /// [`WindowSample`](ccache_core::observe::WindowSample) per `window` references.
     pub fn observe(mut self, window: u64) -> Self {
         self.observe = Some(window.max(1));
+        self
+    }
+
+    /// Routes the session's telemetry (engine, tuner and executor metrics) into
+    /// `registry` instead of the process-wide [`Registry::global`]. Telemetry never
+    /// changes results, artefact bytes or [`Session::spec_key`].
+    pub fn telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -211,6 +222,7 @@ impl SessionBuilder {
             quick: self.quick,
             observe: self.observe,
             registry: self.registry,
+            telemetry: self.telemetry.unwrap_or_else(Registry::global),
         })
     }
 }
@@ -225,6 +237,7 @@ pub struct Session {
     quick: bool,
     observe: Option<u64>,
     registry: BackendRegistry,
+    telemetry: Registry,
 }
 
 impl Session {
@@ -263,6 +276,12 @@ impl Session {
         self.observe
     }
 
+    /// The telemetry registry the session reports into (the process-wide global unless
+    /// [`SessionBuilder::telemetry`] installed a private one).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
     /// A fresh [`ReplayEngine`] over the session's backend and geometry — the escape
     /// hatch for snapshot/reset-style driving beyond what the facade offers.
     ///
@@ -270,11 +289,9 @@ impl Session {
     ///
     /// Fails if the backend factory rejects the configuration.
     pub fn engine(&self) -> Result<ReplayEngine, SessionError> {
-        Ok(ReplayEngine::from_registry(
-            &self.registry,
-            &self.backend,
-            self.config,
-        )?)
+        let mut engine = ReplayEngine::from_registry(&self.registry, &self.backend, self.config)?;
+        engine.set_telemetry(&self.telemetry);
+        Ok(engine)
     }
 
     /// Replays a trace on a freshly built backend with no mapping programmed.
@@ -374,8 +391,9 @@ impl Session {
     /// The canonical memo key for running `spec` on this session.
     ///
     /// The key is a compact JSON document combining the session knobs that change
-    /// artefact bytes (`quick` scale and observation window — the fields of
-    /// [`Session::exec_options`]) with the spec's canonical JSON form and the
+    /// artefact bytes (`quick` scale and observation window; telemetry routing is
+    /// deliberately excluded because it never changes bytes) with the spec's canonical
+    /// JSON form and the
     /// planner's deduplicated per-job canonical keys ([`JobUnit::key`](
     /// ccache_exp::JobUnit::key)). Whenever two `(session, spec)` pairs agree on
     /// `spec_key`, [`Session::run_spec`] produces byte-identical artefact text for
@@ -423,6 +441,7 @@ impl Session {
         ExecOptions {
             quick: self.quick,
             observe: self.observe.map(|window| ObserveOptions { window }),
+            telemetry: Some(self.telemetry.clone()),
         }
     }
 
@@ -459,7 +478,36 @@ impl Session {
         symbols: &SymbolTable,
         request: &TuneRequest,
     ) -> Result<TuneOutcome, SessionError> {
-        Ok(ccache_opt::tune(trace, symbols, request)?)
+        Ok(ccache_opt::tune_observed(
+            trace,
+            symbols,
+            request,
+            &self.telemetry,
+            None,
+        )?)
+    }
+
+    /// As [`Session::tune`], additionally streaming each completed generation to
+    /// `progress` as it happens — the convergence log on the returned outcome is
+    /// unchanged, and observation never steers the search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates search failures.
+    pub fn tune_with_progress(
+        &self,
+        trace: &Trace,
+        symbols: &SymbolTable,
+        request: &TuneRequest,
+        progress: &mut dyn TuneProgress,
+    ) -> Result<TuneOutcome, SessionError> {
+        Ok(ccache_opt::tune_observed(
+            trace,
+            symbols,
+            request,
+            &self.telemetry,
+            Some(progress),
+        )?)
     }
 
     /// Tunes a named corpus workload (at the session's scale) with the **session's

@@ -201,15 +201,20 @@ fn observed_artefacts_are_byte_identical_modulo_time_series() {
         &spec,
         &ExecOptions {
             quick: true,
-            observe: None,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
+    // Observation AND telemetry together must still leave the artefact byte-identical
+    // (modulo the time_series blocks observation adds): metrics are quarantined in the
+    // registry, never in result bytes.
+    let registry = column_caching::telemetry::Registry::new();
     let observed = column_caching::exp::run_spec(
         &spec,
         &ExecOptions {
             quick: true,
             observe: Some(ObserveOptions { window: 777 }),
+            telemetry: Some(registry.clone()),
         },
     )
     .unwrap();
@@ -240,6 +245,22 @@ fn observed_artefacts_are_byte_identical_modulo_time_series() {
         strip(&plain),
         strip(&observed),
         "observation must not change anything but the time_series blocks"
+    );
+
+    // the registry actually watched the run: every job timed, every replay counted
+    let snapshot = registry.snapshot_deterministic();
+    assert!(
+        registry.counter_value("engine.replays") >= observed.outcomes.len() as u64,
+        "each planned job replays at least once"
+    );
+    assert_eq!(
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get("exp.groups"))
+            .and_then(ccache_json::Json::as_u64)
+            .map(|groups| groups >= 1),
+        Some(true),
+        "the executor records its replay groups"
     );
 
     // and the series totals reconcile with each job's final statistics

@@ -41,6 +41,9 @@ options:
   --page BYTES      page size (default: 128)
   --tlb N           template TLB entries (default: 64)
   --quick, -q       reduced working sets (and budget) for smoke tests
+  --metrics FILE    write the session's deterministic telemetry snapshot (JSON,
+                    counters only — includes the fitness datapath's
+                    opt.engine_pool.* and opt.warmup.* counters) to FILE
   --format FMT      json | csv | markdown (default: json)
   --out FILE        write the report in FMT to FILE instead of stdout
   --help, -h        show this help
@@ -88,6 +91,7 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     let line = p.parsed::<u64>("--line")?.unwrap_or(32);
     let page = p.parsed::<u64>("--page")?.unwrap_or(128);
     let tlb = p.parsed::<usize>("--tlb")?.unwrap_or(64);
+    let metrics_path = p.value("--metrics")?;
 
     let cache = CacheConfig::builder()
         .capacity_bytes(capacity)
@@ -156,6 +160,13 @@ pub fn run(args: Vec<String>) -> Result<(), CliError> {
     };
     let session = column_caching::Session::builder().quick(quick).build()?;
     let outcome = session.tune(&trace, &symbols, &request)?;
+
+    // Deterministic (counter-only) telemetry snapshot: identical runs produce
+    // byte-identical files, which is what the CI determinism smoke diffs.
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, session.telemetry().snapshot_deterministic().pretty())?;
+        eprintln!("tune: wrote telemetry snapshot to '{path}'");
+    }
 
     let report = TuneReport {
         workload: name,

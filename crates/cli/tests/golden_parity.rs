@@ -95,7 +95,7 @@ fn bench_artefact_is_deterministic_modulo_timing() {
     let out_a = tmp("bench-quick-a.json");
     let out_b = tmp("bench-quick-b.json");
     for out in [&out_a, &out_b] {
-        run_cli(&["bench", "--quick", "--out", out.to_str().unwrap()]);
+        run_cli(&["bench", "--quick", "--tune", "--out", out.to_str().unwrap()]);
     }
     let a = strip_timing(parse(&out_a));
     let b = strip_timing(parse(&out_b));
@@ -109,7 +109,7 @@ fn bench_artefact_is_deterministic_modulo_timing() {
         a.get("artefact").and_then(|v| v.as_str()),
         Some("ccache-bench")
     );
-    assert_eq!(a.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(a.get("version").and_then(|v| v.as_u64()), Some(2));
     let modes: Vec<&str> = a
         .get("modes")
         .and_then(|m| m.as_arr())
@@ -127,6 +127,31 @@ fn bench_artefact_is_deterministic_modulo_timing() {
         ],
         "bench artefact must report every replay mode"
     );
+    let tune_modes: Vec<(&str, &str)> = a
+        .get("tune")
+        .and_then(|t| t.get("modes"))
+        .and_then(|m| m.as_arr())
+        .expect("tune.modes array")
+        .iter()
+        .filter_map(|m| {
+            Some((
+                m.get("mode").and_then(|v| v.as_str())?,
+                m.get("schedule").and_then(|v| v.as_str())?,
+            ))
+        })
+        .collect();
+    assert_eq!(
+        tune_modes,
+        [
+            ("fresh", "serial"),
+            ("fresh", "parallel"),
+            ("pooled", "serial"),
+            ("pooled", "parallel"),
+            ("pooled_checkpoint", "serial"),
+            ("pooled_checkpoint", "parallel"),
+        ],
+        "tune section must report every fitness datapath under both schedules"
+    );
 }
 
 fn parse(path: &Path) -> ccache_json::Json {
@@ -141,7 +166,13 @@ fn strip_timing(doc: ccache_json::Json) -> ccache_json::Json {
         ccache_json::Json::Obj(pairs) => ccache_json::Json::Obj(
             pairs
                 .into_iter()
-                .filter(|(k, _)| k != "timing" && k != "ratios" && k != "environment")
+                .filter(|(k, _)| {
+                    k != "timing"
+                        && k != "ratios"
+                        && k != "environment"
+                        && k != "elapsed_s"
+                        && k != "evals_per_sec"
+                })
                 .map(|(k, v)| (k, strip_timing(v)))
                 .collect(),
         ),

@@ -115,14 +115,51 @@ impl ReplayCheckpoints {
                 control: backend.control_cycles(),
             }
         });
+        self.merge(name, &parts)
+    }
 
-        // Every counter is additive across segments, so the merge is a plain sum; the
-        // CPI report is then derived through the same single function every backend
-        // uses, from the summed counters.
+    /// As [`ReplayCheckpoints::replay`], over already-decoded `(addr, is_write)`
+    /// references — the form the fitness datapath's shared trace arena holds. Workers
+    /// feed subslices of `refs` to the backend directly, with no per-chunk staging copy;
+    /// the batch boundaries are identical to the trace path, so for the same event
+    /// stream the result is byte-identical to [`ReplayCheckpoints::replay`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` does not have the length the checkpoints were recorded against,
+    /// for the same reason as [`ReplayCheckpoints::replay`].
+    pub fn replay_refs(&self, name: &str, refs: &[(u64, bool)]) -> RunResult {
+        assert_eq!(
+            refs.len(),
+            self.trace_len,
+            "checkpoints were recorded against a trace of {} events, got {}",
+            self.trace_len,
+            refs.len()
+        );
+        let segments: Vec<usize> = (0..self.segments()).collect();
+        let parts = par_map(&segments, |&s| {
+            let mut backend = self.checkpoints[s].boxed_clone();
+            backend.reset_stats();
+            for chunk in refs[self.bounds[s]..self.bounds[s + 1]].chunks(self.batch) {
+                backend.run_batch(chunk);
+            }
+            SegmentStats {
+                mem: *backend.stats(),
+                cache: backend.cache_stats().clone(),
+                control: backend.control_cycles(),
+            }
+        });
+        self.merge(name, &parts)
+    }
+
+    /// Sums per-segment statistics into one [`RunResult`]. Every counter is additive
+    /// across segments, so the merge is a plain sum; the CPI report is then derived
+    /// through the same single function every backend uses, from the summed counters.
+    fn merge(&self, name: &str, parts: &[SegmentStats]) -> RunResult {
         let mut mem = MemoryStats::default();
         let mut cache = CacheStats::default();
         let mut control_during = 0u64;
-        for part in &parts {
+        for part in parts {
             mem += &part.mem;
             cache += &part.cache;
             control_during += part.control;

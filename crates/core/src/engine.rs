@@ -294,6 +294,25 @@ impl ReplayEngine {
         crate::runner::collect_result(name, self.backend.as_ref(), control_before)
     }
 
+    /// As [`ReplayEngine::replay`], over already-decoded `(addr, is_write)` references.
+    ///
+    /// This is the fitness datapath's hot loop: the tuner decodes the trace once into a
+    /// shared arena and every candidate replays from it, so the per-replay staging copy
+    /// of [`ReplayEngine::replay`] disappears — chunks of `refs` go to
+    /// [`MemoryBackend::run_batch`] directly. Batch boundaries are identical to the
+    /// trace path, so for the same event stream the result is byte-identical.
+    pub fn replay_refs(&mut self, name: &str, refs: &[(u64, bool)]) -> RunResult {
+        let control_before = self.backend.control_cycles();
+        self.backend.reset_stats();
+        let mut batches = 0u64;
+        for chunk in refs.chunks(self.batch) {
+            self.backend.run_batch(chunk);
+            batches += 1;
+        }
+        self.telemetry.record_replay(self.backend.as_ref(), batches);
+        crate::runner::collect_result(name, self.backend.as_ref(), control_before)
+    }
+
     /// Replays a binary-format trace straight from a streaming
     /// [`TraceReader`](ccache_trace::binfmt::TraceReader), without materialising it in
     /// memory: events are decoded into the engine's staging buffer one batch at a time
@@ -457,6 +476,29 @@ impl ReplayEngine {
         )
     }
 
+    /// As [`ReplayEngine::checkpoint`], over already-decoded `(addr, is_write)`
+    /// references from a shared trace arena. The warm-up feeds subslices of `refs` to
+    /// the backend directly (no staging copy); segment boundaries, statistics handling
+    /// and the backend's end state are identical to the trace path, so the recorded
+    /// checkpoints replay byte-identically.
+    pub fn checkpoint_refs(&mut self, refs: &[(u64, bool)], segments: usize) -> ReplayCheckpoints {
+        let segments = segments.clamp(1, refs.len().max(1));
+        let bounds = crate::checkpoint::segment_bounds(refs.len(), segments);
+        let control_before = self.backend.control_cycles();
+        self.backend.reset_stats();
+        let warmup = self.telemetry.checkpoint_warmup.start();
+        let mut checkpoints = Vec::with_capacity(segments);
+        for s in 0..segments {
+            checkpoints.push(self.backend.boxed_clone());
+            for chunk in refs[bounds[s]..bounds[s + 1]].chunks(self.batch) {
+                self.backend.run_batch(chunk);
+            }
+        }
+        drop(warmup);
+        self.telemetry.checkpoint_segments.add(segments as u64);
+        ReplayCheckpoints::new(checkpoints, bounds, refs.len(), control_before, self.batch)
+    }
+
     /// Convenience: [`ReplayEngine::checkpoint`] followed by one
     /// [`ReplayCheckpoints::replay`] — a checkpoint-parallel replay of one trace whose
     /// result is byte-identical to the sequential [`ReplayEngine::replay`].
@@ -551,6 +593,31 @@ mod tests {
         let mut large = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
         large.set_batch_size(1 << 20);
         assert_eq!(small.replay("x", &t), large.replay("x", &t));
+    }
+
+    #[test]
+    fn refs_paths_match_the_trace_paths() {
+        let t = trace();
+        let refs: Vec<(u64, bool)> = t
+            .as_slice()
+            .iter()
+            .map(|ev| (ev.addr, ev.is_write()))
+            .collect();
+        let m = mapping();
+
+        let mut a = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
+        a.apply(&m).unwrap();
+        let mut b = a.clone();
+        let from_trace = a.replay("x", &t);
+        let from_refs = b.replay_refs("x", &refs);
+        assert_eq!(from_trace, from_refs);
+
+        // checkpoint_refs reproduces the sequential result through both replay paths
+        let mut c = ReplayEngine::new(BackendKind::ColumnCache, config()).unwrap();
+        c.apply(&m).unwrap();
+        let cps = c.checkpoint_refs(&refs, 3);
+        assert_eq!(cps.replay_refs("x", &refs), from_refs);
+        assert_eq!(cps.replay("x", &t), from_refs);
     }
 
     #[test]

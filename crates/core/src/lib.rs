@@ -9,7 +9,8 @@
 //! * [`placement`] — relocate program variables (page alignment, scratchpad packing)
 //!   before an experiment.
 //! * [`fitness`] — the replay engine packaged as a fitness function for configuration
-//!   search ([`fitness::ReplayFitness`]), with order-preserving parallel batches.
+//!   search ([`fitness::ReplayFitness`]): pooled engines, a shared trace arena, warm-up
+//!   checkpoint reuse, and order-preserving parallel batches.
 //! * [`partition`] — the Figure 4 scratchpad/cache partition sweep.
 //! * [`dynamic`] — the dynamically remapped column-cache run of Figure 4(d).
 //! * [`multitask`] — the Figure 5 multitasking CPI-vs-quantum experiment.
@@ -59,7 +60,7 @@ pub use checkpoint::ReplayCheckpoints;
 pub use dynamic::{run_dynamic, run_dynamic_observed, DynamicRunResult, Figure4dResult};
 pub use engine::ReplayEngine;
 pub use error::CoreError;
-pub use fitness::{Candidate, ReplayFitness};
+pub use fitness::{Candidate, FitnessMode, ReplayFitness};
 pub use multitask::{
     quantum_sweep, run_multitasking, JobMetrics, MultitaskConfig, MultitaskRun, QuantumSeries,
     SharingPolicy,
@@ -80,7 +81,7 @@ pub mod prelude {
     pub use crate::dynamic::{run_dynamic, Figure4dResult};
     pub use crate::engine::ReplayEngine;
     pub use crate::error::CoreError;
-    pub use crate::fitness::{Candidate, ReplayFitness};
+    pub use crate::fitness::{Candidate, FitnessMode, ReplayFitness};
     pub use crate::multitask::{quantum_sweep, run_multitasking, MultitaskConfig, SharingPolicy};
     pub use crate::partition::{partition_sweep, PartitionConfig, PartitionSweep};
     pub use crate::report::SweepReport;

@@ -9,15 +9,26 @@
 //! modes on the same machine (batched vs per-reference, streamed vs per-reference),
 //! which measure the datapath overheads this crate controls rather than host speed.
 //!
+//! On request ([`BenchRequest::tune`]) the harness also benchmarks the **tuner's
+//! fitness datapath**: candidate evaluations per second over a fixed duplicate-heavy
+//! batch through every [`FitnessMode`] — fresh engines, pooled engines, pooled with
+//! warm-up checkpoint reuse — under both schedules, with machine-independent
+//! datapath-vs-datapath ratios ([`TuneBenchRatios`]) that CI gates the same way.
+//!
 //! Every mode must produce an identical [`RunResult`] — the harness asserts this on
-//! every run, so a benchmark can never get faster by silently computing something
-//! else. All timing-dependent values are confined to [`BenchTiming`] and
-//! [`BenchRatios`]; everything else in a [`BenchReport`] is deterministic, which is
-//! what lets CI `cmp` two artefacts modulo the timing fields.
+//! every run (and the tune section asserts every datapath reproduces the fresh-engine
+//! oracle), so a benchmark can never get faster by silently computing something
+//! else. All timing-dependent values are confined to [`BenchTiming`],
+//! [`BenchRatios`], [`TuneBenchMode`] and [`TuneBenchRatios`]; everything else in a
+//! [`BenchReport`] is deterministic, which is what lets CI `cmp` two artefacts modulo
+//! the timing fields.
 
 use crate::session::{Session, SessionError};
 use ccache_core::runner::run_on;
-use ccache_core::RunResult;
+use ccache_core::{CacheMapping, Candidate, FitnessMode, RegionMapping, ReplayFitness, RunResult};
+use ccache_sim::backend::BackendKind;
+use ccache_sim::{ColumnMask, SystemConfig};
+use ccache_trace::Trace;
 use std::time::Instant;
 
 /// What [`Session::bench`](crate::Session::bench) should measure.
@@ -33,6 +44,8 @@ pub struct BenchRequest {
     pub batch_sweep: Vec<usize>,
     /// Segment counts for the checkpoint-parallel scaling curve.
     pub segment_sweep: Vec<usize>,
+    /// Whether to also benchmark the tuner's fitness datapath (see [`TuneBenchReport`]).
+    pub tune: bool,
 }
 
 impl Default for BenchRequest {
@@ -45,6 +58,7 @@ impl Default for BenchRequest {
             segments: 4,
             batch_sweep: vec![64, 256, 1024, 4096, 16384],
             segment_sweep: vec![1, 2, 4, 8],
+            tune: false,
         }
     }
 }
@@ -137,6 +151,69 @@ pub struct BenchRatios {
     pub checkpoint_parallel_vs_batched: f64,
 }
 
+/// One measured point of the tuner's fitness datapath: an evaluation mode under one
+/// schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneBenchMode {
+    /// Datapath: `fresh`, `pooled` or `pooled_checkpoint` (see
+    /// [`FitnessMode`]).
+    pub mode: &'static str,
+    /// Schedule: `serial` or `parallel` (thread fan-out of full replays).
+    pub schedule: &'static str,
+    /// Timed repetitions the measurement took the minimum over.
+    pub iterations: usize,
+    /// Best (minimum) wall-clock seconds for one full candidate batch.
+    pub elapsed_s: f64,
+    /// Candidate evaluations per second at the best repetition.
+    pub evals_per_sec: f64,
+}
+
+/// Fitness-datapath throughput ratios — the machine-independent numbers CI gates on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneBenchRatios {
+    /// Pooled-engine evaluation speedup over fresh-engine evaluation (parallel
+    /// schedule on both sides).
+    pub pooled_vs_fresh: f64,
+    /// Pooled + warm-up-checkpoint evaluation speedup over fresh-engine evaluation
+    /// (parallel schedule on both sides).
+    pub pooled_checkpoint_vs_fresh: f64,
+    /// Parallel-schedule speedup over serial, both on the full datapath
+    /// (thread-count dependent; informational, never gated).
+    pub parallel_vs_serial: f64,
+}
+
+/// The tuner fitness-datapath section of a bench run (requested via
+/// [`BenchRequest::tune`]).
+///
+/// The harness evaluates one fixed candidate batch — duplicate-heavy and
+/// geometry-diverse, shaped like a converging tuner population over the session's
+/// geometry — through every [`FitnessMode`] under both schedules, asserting that all
+/// of them reproduce the fresh-engine oracle's results exactly. Timed batches run
+/// against a warm fitness (pool populated, warm-ups recorded), so the throughput is
+/// the steady state a tune loop sees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneBenchReport {
+    /// Candidates in the benchmark batch.
+    pub candidates: usize,
+    /// Distinct candidates in the batch (the rest are duplicates).
+    pub distinct_candidates: usize,
+    /// Distinct geometries in the batch.
+    pub geometries: usize,
+    /// Per-mode measurements, in a fixed order.
+    pub modes: Vec<TuneBenchMode>,
+    /// Datapath throughput ratios.
+    pub ratios: TuneBenchRatios,
+}
+
+impl TuneBenchReport {
+    /// The measurement for `mode` under `schedule`, if it was run.
+    pub fn mode(&self, mode: &str, schedule: &str) -> Option<&TuneBenchMode> {
+        self.modes
+            .iter()
+            .find(|m| m.mode == mode && m.schedule == schedule)
+    }
+}
+
 /// The result of one [`Session::bench`](crate::Session::bench) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -160,6 +237,8 @@ pub struct BenchReport {
     pub segment_sweep: Vec<BenchSweepPoint>,
     /// Mode-vs-mode throughput ratios.
     pub ratios: BenchRatios,
+    /// The tuner fitness-datapath section, when requested.
+    pub tune: Option<TuneBenchReport>,
 }
 
 impl BenchReport {
@@ -196,6 +275,142 @@ fn ratio(num: f64, den: f64) -> f64 {
     } else {
         0.0
     }
+}
+
+/// Builds the fixed tune-bench candidate batch over `base` and one alternative
+/// geometry: per geometry, a duplicate-heavy column-cache population (one mapping
+/// repeated, a few distinct), plus baseline-backend candidates whose column mappings
+/// differ but whose *hardware-visible* state does not — the shape where the pooled
+/// datapath's signature rule pays off exactly as it does in a real tune loop.
+fn tune_candidates(base: SystemConfig) -> Vec<Candidate> {
+    let page = base.page_size;
+    let columns = base.cache.columns();
+    let alt = SystemConfig {
+        tlb_entries: base.tlb_entries + base.tlb_entries.max(2) / 2,
+        ..base
+    };
+    let mapping = |k: usize| {
+        let mut m = CacheMapping::new();
+        m.map(
+            (k as u64 + 1) * 16 * page,
+            4 * page,
+            RegionMapping::Columns {
+                mask: ColumnMask::single(k % columns),
+            },
+        );
+        m
+    };
+    let mut batch = Vec::new();
+    for config in [base, alt] {
+        for _ in 0..12 {
+            batch.push(Candidate::column_cache(config, mapping(0)));
+        }
+        for k in 1..5 {
+            batch.push(Candidate::column_cache(config, mapping(k)));
+        }
+    }
+    for k in 0..8 {
+        batch.push(Candidate {
+            config: base,
+            mapping: mapping(k),
+            backend: BackendKind::SetAssociative,
+        });
+    }
+    for k in 0..8 {
+        batch.push(Candidate {
+            config: alt,
+            mapping: mapping(k),
+            backend: BackendKind::IdealScratchpad,
+        });
+    }
+    batch
+}
+
+/// Benchmarks the tuner's fitness datapath: the fixed candidate batch through every
+/// [`FitnessMode`] under both schedules, self-checked against the fresh-engine oracle.
+fn run_tune(
+    trace: &Trace,
+    config: SystemConfig,
+    iterations: usize,
+) -> Result<TuneBenchReport, SessionError> {
+    let batch = tune_candidates(config);
+    let mut seen: Vec<&Candidate> = Vec::new();
+    for candidate in &batch {
+        if seen.iter().all(|d| *d != candidate) {
+            seen.push(candidate);
+        }
+    }
+
+    let oracle: Vec<RunResult> = ReplayFitness::new(trace.clone())
+        .with_mode(FitnessMode::Fresh)
+        .serial()
+        .evaluate_batch(&batch)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(|e| SessionError::BadRequest(format!("tune bench candidate failed: {e}")))?;
+
+    let mut modes = Vec::new();
+    for (mode, mode_name) in [
+        (FitnessMode::Fresh, "fresh"),
+        (FitnessMode::Pooled, "pooled"),
+        (FitnessMode::PooledCheckpoint, "pooled_checkpoint"),
+    ] {
+        for (schedule, serial) in [("serial", true), ("parallel", false)] {
+            let mut fitness = ReplayFitness::new(trace.clone()).with_mode(mode);
+            if serial {
+                fitness = fitness.serial();
+            }
+            // Untimed warm-up pass: populates the pool and recorded warm-ups, and
+            // doubles as the self-check against the oracle.
+            let first = fitness.evaluate_batch(&batch);
+            for (got, want) in first.iter().zip(&oracle) {
+                if got.as_ref().ok() != Some(want) {
+                    return Err(SessionError::BadRequest(format!(
+                        "bench self-check failed: {mode_name}/{schedule} fitness evaluation \
+                         disagreed with the fresh-engine oracle"
+                    )));
+                }
+            }
+            let (_, timing) = time_mode(iterations, batch.len() as u64, || {
+                let start = Instant::now();
+                let results = fitness.evaluate_batch(&batch);
+                (results, start.elapsed())
+            });
+            modes.push(TuneBenchMode {
+                mode: mode_name,
+                schedule,
+                iterations,
+                elapsed_s: timing.elapsed_s,
+                evals_per_sec: timing.refs_per_sec,
+            });
+        }
+    }
+
+    let rate = |mode: &str, schedule: &str| {
+        modes
+            .iter()
+            .find(|m| m.mode == mode && m.schedule == schedule)
+            .map(|m| m.evals_per_sec)
+            .unwrap_or(0.0)
+    };
+    let ratios = TuneBenchRatios {
+        pooled_vs_fresh: ratio(rate("pooled", "parallel"), rate("fresh", "parallel")),
+        pooled_checkpoint_vs_fresh: ratio(
+            rate("pooled_checkpoint", "parallel"),
+            rate("fresh", "parallel"),
+        ),
+        parallel_vs_serial: ratio(
+            rate("pooled_checkpoint", "parallel"),
+            rate("pooled_checkpoint", "serial"),
+        ),
+    };
+    Ok(TuneBenchReport {
+        candidates: batch.len(),
+        distinct_candidates: seen.len(),
+        geometries: 2,
+        modes,
+        ratios,
+    })
 }
 
 /// Runs the harness for a session. Called through [`Session::bench`](crate::Session::bench).
@@ -296,6 +511,12 @@ pub(crate) fn run(session: &Session, request: &BenchRequest) -> Result<BenchRepo
         });
     }
 
+    let tune = if request.tune {
+        Some(run_tune(trace, *session.config(), iterations)?)
+    } else {
+        None
+    };
+
     Ok(BenchReport {
         workload: run.name.clone(),
         quick: session.quick(),
@@ -332,6 +553,7 @@ pub(crate) fn run(session: &Session, request: &BenchRequest) -> Result<BenchRepo
             streamed_vs_per_reference: ratio(streamed.refs_per_sec, per_ref.refs_per_sec),
             checkpoint_parallel_vs_batched: ratio(parallel.refs_per_sec, batched.refs_per_sec),
         },
+        tune,
     })
 }
 
@@ -348,6 +570,7 @@ mod tests {
             segments: 3,
             batch_sweep: vec![64, 4096],
             segment_sweep: vec![1, 2],
+            tune: false,
         };
         let report = session.bench(&request).unwrap();
         assert_eq!(report.workload, "fir");
@@ -376,6 +599,47 @@ mod tests {
         assert_eq!(report.segment_sweep.len(), 2);
         assert!(report.ratios.batched_vs_per_reference > 0.0);
         assert!(report.environment.threads >= 1);
+    }
+
+    #[test]
+    fn tune_mode_measures_every_fitness_datapath() {
+        let session = Session::builder().quick(true).build().unwrap();
+        let request = BenchRequest {
+            workload: "fir".to_owned(),
+            iterations: 1,
+            segments: 2,
+            batch_sweep: vec![],
+            segment_sweep: vec![],
+            tune: true,
+        };
+        let report = session.bench(&request).unwrap();
+        let tune = report.tune.expect("tune section was requested");
+        assert_eq!(tune.candidates, 48);
+        assert_eq!(tune.geometries, 2);
+        assert!(tune.distinct_candidates < tune.candidates);
+        let pairs: Vec<(&str, &str)> = tune.modes.iter().map(|m| (m.mode, m.schedule)).collect();
+        assert_eq!(
+            pairs,
+            [
+                ("fresh", "serial"),
+                ("fresh", "parallel"),
+                ("pooled", "serial"),
+                ("pooled", "parallel"),
+                ("pooled_checkpoint", "serial"),
+                ("pooled_checkpoint", "parallel"),
+            ]
+        );
+        for mode in &tune.modes {
+            assert!(
+                mode.evals_per_sec > 0.0,
+                "{}/{} must be timed",
+                mode.mode,
+                mode.schedule
+            );
+        }
+        assert!(tune.ratios.pooled_vs_fresh > 0.0);
+        assert!(tune.ratios.pooled_checkpoint_vs_fresh > 0.0);
+        assert!(tune.ratios.parallel_vs_serial > 0.0);
     }
 
     #[test]

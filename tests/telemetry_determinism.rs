@@ -41,4 +41,9 @@ fn observed_tuning_reports_identical_metrics_across_runs() {
     assert!(snapshot_a.contains("opt.generations"));
     assert!(snapshot_a.contains("opt.evaluations"));
     assert!(snapshot_a.contains("opt.best.misses"));
+    // the amortized fitness datapath reports its pool and warm-up activity too
+    assert!(snapshot_a.contains("opt.engine_pool.hits"));
+    assert!(snapshot_a.contains("opt.engine_pool.builds"));
+    assert!(snapshot_a.contains("opt.warmup.reused"));
+    assert!(snapshot_a.contains("opt.warmup.full"));
 }
